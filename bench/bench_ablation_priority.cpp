@@ -1,0 +1,51 @@
+/**
+ * @file
+ * Ablation: the event scheduler's priority scheme (Section 4.2).
+ * Compares the paper's weighted level+fertility priority against
+ * level-only, fertility-only and ready-FIFO order.
+ */
+
+#include <cstdio>
+
+#include "harness/harness.hpp"
+
+namespace {
+
+using namespace raw;
+
+int64_t
+cycles_with(const BenchmarkProgram &prog, int n, int level_w,
+            int fert_w, bool fifo)
+{
+    CompilerOptions opts;
+    opts.orch.sched.level_weight = level_w;
+    opts.orch.sched.fertility_weight = fert_w;
+    opts.orch.sched.fifo_priority = fifo;
+    RunResult r = run_rawcc(prog.source, MachineConfig::base(n),
+                            prog.check_array, opts);
+    return r.cycles;
+}
+
+} // namespace
+
+int
+main()
+{
+    std::printf("Ablation: scheduler priority (16 tiles), cycles\n");
+    std::printf("%-14s %-14s %-12s %-14s %-10s\n", "Benchmark",
+                "level+fert", "level-only", "fertility-only", "FIFO");
+    for (const char *name : {"fpppp-kernel", "jacobi", "mxm",
+                             "tomcatv"}) {
+        const BenchmarkProgram &prog = benchmark(name);
+        std::printf("%-14s %-14lld %-12lld %-14lld %-10lld\n", name,
+                    static_cast<long long>(
+                        cycles_with(prog, 16, 16, 1, false)),
+                    static_cast<long long>(
+                        cycles_with(prog, 16, 16, 0, false)),
+                    static_cast<long long>(
+                        cycles_with(prog, 16, 0, 1, false)),
+                    static_cast<long long>(
+                        cycles_with(prog, 16, 16, 1, true)));
+    }
+    return 0;
+}

@@ -1,0 +1,113 @@
+/**
+ * @file
+ * Table 3 reproduction: benchmark speedup of RAWCC-compiled code
+ * versus the sequential baseline ("Machsuif Mips compiler"), for
+ * N = 1, 2, 4, 8, 16, 32 tiles.
+ *
+ * Prints the paper-format table, then (optionally) runs
+ * google-benchmark timings of the compile+simulate pipeline when
+ * invoked with --gbench.
+ */
+
+#include <cstdio>
+#include <cstring>
+#include <map>
+
+#include <benchmark/benchmark.h>
+
+#include "harness/harness.hpp"
+
+namespace {
+
+const int kSizes[] = {1, 2, 4, 8, 16, 32};
+
+// Paper values for side-by-side comparison (Table 3).
+const std::map<std::string, std::array<double, 6>> kPaper = {
+    {"life", {0.91, 1.2, 1.6, 1.8, 1.9, 0}},
+    {"vpenta", {0.92, 1.2, 1.8, 2.2, 2.6, 3.0}},
+    {"cholesky", {0.90, 1.3, 2.1, 3.3, 5.3, 0}},
+    {"tomcatv", {0.97, 1.7, 2.7, 3.8, 5.6, 7.8}},
+    {"fpppp-kernel", {0.51, 0.92, 1.9, 4.0, 8.1, 13.7}},
+    {"mxm", {0.92, 1.8, 3.3, 6.3, 10.2, 0}},
+    {"jacobi", {0.97, 1.6, 3.4, 5.6, 15, 22}},
+};
+
+void
+print_table()
+{
+    std::printf("Table 3: Benchmark Speedup (RAWCC vs. sequential "
+                "baseline)\n");
+    std::printf("%-14s", "Benchmark");
+    for (int n : kSizes)
+        std::printf("  N=%-7d", n);
+    std::printf("\n");
+    for (const raw::BenchmarkProgram &prog : raw::benchmark_suite()) {
+        raw::RunResult base =
+            raw::run_baseline(prog.source, prog.check_array);
+        std::printf("%-14s", prog.name.c_str());
+        for (int n : kSizes) {
+            raw::RunResult par = raw::run_rawcc(
+                prog.source, raw::MachineConfig::base(n),
+                prog.check_array);
+            double s = static_cast<double>(base.cycles) /
+                       static_cast<double>(par.cycles);
+            std::printf("  %-9.2f", s);
+            std::fflush(stdout);
+        }
+        std::printf("   (seq RT %lld cycles)\n",
+                    static_cast<long long>(base.cycles));
+        auto it = kPaper.find(prog.name);
+        if (it != kPaper.end()) {
+            std::printf("%-14s", "  [paper]");
+            for (double v : it->second) {
+                if (v > 0)
+                    std::printf("  %-9.2f", v);
+                else
+                    std::printf("  %-9s", "*");
+            }
+            std::printf("\n");
+        }
+    }
+}
+
+void
+bm_compile_and_run(benchmark::State &state, const std::string &name,
+                   int n)
+{
+    const raw::BenchmarkProgram &prog = raw::benchmark(name);
+    for (auto _ : state) {
+        raw::RunResult r = raw::run_rawcc(
+            prog.source, raw::MachineConfig::base(n),
+            prog.check_array);
+        state.counters["cycles"] =
+            static_cast<double>(r.cycles);
+    }
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    bool gbench = false;
+    for (int i = 1; i < argc; i++)
+        if (std::strcmp(argv[i], "--gbench") == 0)
+            gbench = true;
+
+    print_table();
+    if (!gbench)
+        return 0;
+
+    for (const raw::BenchmarkProgram &prog : raw::benchmark_suite())
+        for (int n : {1, 8, 32})
+            benchmark::RegisterBenchmark(
+                (prog.name + "/n" + std::to_string(n)).c_str(),
+                [name = prog.name, n](benchmark::State &st) {
+                    bm_compile_and_run(st, name, n);
+                })
+                ->Unit(benchmark::kMillisecond)
+                ->Iterations(1);
+    benchmark::Initialize(&argc, argv);
+    benchmark::RunSpecifiedBenchmarks();
+    return 0;
+}

@@ -1,0 +1,72 @@
+/**
+ * @file
+ * Quickstart: the paper's Figure 6 example, end to end.
+ *
+ * Compiles the four-statement program of Figure 6 for a 1x2 Raw
+ * machine, showing each artifact the basic block orchestrater
+ * produces: the IR after initial code transformation, the final
+ * per-tile processor streams and per-switch route streams, and the
+ * simulated execution.
+ *
+ * Build & run:  ./examples/quickstart
+ */
+
+#include <cstdio>
+
+#include "harness/harness.hpp"
+#include "ir/printer.hpp"
+#include "sim/disasm.hpp"
+
+int
+main()
+{
+    const char *src = R"(
+// Figure 6 input program.  a and b are read from memory so the
+// computation is opaque to constant folding and the space-time
+// schedule of the paper's example is visible.
+int in[2];
+in[0] = 5;
+in[1] = 7;
+int a; int b;
+a = in[0];
+b = in[1];
+int x; int y; int z;
+y = a + b;
+z = a * a;
+x = y * a * 5;
+y = y * b * 6;
+print(x);
+print(y);
+print(z);
+)";
+
+    std::printf("---- source ----\n%s\n", src);
+
+    raw::MachineConfig machine = raw::MachineConfig::base(2);
+    raw::CompilerOptions opts;
+    raw::CompileOutput out = raw::compile_source(src, machine, opts);
+
+    std::printf("---- IR after renaming (single-assignment form, "
+                "write-backs trailing) ----\n%s\n",
+                raw::print_function(out.fn).c_str());
+
+    std::printf("---- space-time schedule: per-tile and per-switch "
+                "streams ----\n%s\n",
+                raw::disasm_program(out.program).c_str());
+
+    raw::Simulator sim(out.program);
+    raw::SimResult r = sim.run();
+    std::printf("---- execution ----\n");
+    std::printf("prints (expect 300, 504, 25):\n%s",
+                r.print_text().c_str());
+    std::printf("cycles: %lld on %s\n",
+                static_cast<long long>(r.cycles),
+                machine.name().c_str());
+
+    raw::RunResult base = raw::run_baseline(src);
+    std::printf("sequential baseline: %lld cycles -> speedup %.2f\n",
+                static_cast<long long>(base.cycles),
+                static_cast<double>(base.cycles) /
+                    static_cast<double>(r.cycles));
+    return 0;
+}

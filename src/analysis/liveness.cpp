@@ -1,0 +1,65 @@
+#include "analysis/liveness.hpp"
+
+#include <algorithm>
+
+#include "support/error.hpp"
+
+namespace raw {
+
+int
+VarLiveness::slot(ValueId v) const
+{
+    auto it = std::lower_bound(vars_.begin(), vars_.end(), v);
+    check(it != vars_.end() && *it == v, "liveness: not a variable");
+    return static_cast<int>(it - vars_.begin());
+}
+
+VarLiveness::VarLiveness(const Function &fn)
+{
+    vars_ = fn.var_ids();
+    const size_t nv = vars_.size();
+    const size_t nb = fn.blocks.size();
+
+    // use[b]: var read before any write in b; def[b]: var written in b.
+    std::vector<std::vector<bool>> use(nb, std::vector<bool>(nv, false));
+    std::vector<std::vector<bool>> def(nb, std::vector<bool>(nv, false));
+    for (size_t b = 0; b < nb; b++) {
+        for (const Instr &in : fn.blocks[b].instrs) {
+            for (int s = 0; s < in.num_srcs(); s++) {
+                ValueId v = in.src[s];
+                if (fn.values[v].is_var) {
+                    int k = slot(v);
+                    if (!def[b][k])
+                        use[b][k] = true;
+                }
+            }
+            if (in.has_dst() && fn.values[in.dst].is_var)
+                def[b][slot(in.dst)] = true;
+        }
+    }
+
+    live_in_.assign(nb, std::vector<bool>(nv, false));
+    live_out_.assign(nb, std::vector<bool>(nv, false));
+
+    bool changed = true;
+    while (changed) {
+        changed = false;
+        for (size_t b = nb; b-- > 0;) {
+            std::vector<bool> out(nv, false);
+            for (int s : fn.blocks[b].successors())
+                for (size_t k = 0; k < nv; k++)
+                    if (live_in_[s][k])
+                        out[k] = true;
+            for (size_t k = 0; k < nv; k++) {
+                bool in_k = use[b][k] || (out[k] && !def[b][k]);
+                if (in_k != live_in_[b][k]) {
+                    live_in_[b][k] = in_k;
+                    changed = true;
+                }
+                live_out_[b][k] = out[k];
+            }
+        }
+    }
+}
+
+} // namespace raw

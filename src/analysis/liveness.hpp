@@ -1,0 +1,46 @@
+#ifndef RAW_ANALYSIS_LIVENESS_HPP
+#define RAW_ANALYSIS_LIVENESS_HPP
+
+/**
+ * @file
+ * Inter-block live-variable analysis over persistent scalars.
+ *
+ * Used by the basic block stitcher to avoid generating stitch
+ * communication for values that are dead at a block boundary, and by
+ * the register allocator to bound persistent-register lifetimes.
+ */
+
+#include <vector>
+
+#include "ir/function.hpp"
+
+namespace raw {
+
+/** Backward dataflow result: live-in/live-out variable sets per block. */
+class VarLiveness
+{
+  public:
+    explicit VarLiveness(const Function &fn);
+
+    /** Is variable @p v live at entry to @p block? */
+    bool live_in(int block, ValueId v) const
+    {
+        return live_in_[block][slot(v)];
+    }
+    /** Is variable @p v live at exit of @p block? */
+    bool live_out(int block, ValueId v) const
+    {
+        return live_out_[block][slot(v)];
+    }
+
+  private:
+    int slot(ValueId v) const;
+
+    std::vector<ValueId> vars_;          // var ids, sorted
+    std::vector<std::vector<bool>> live_in_;
+    std::vector<std::vector<bool>> live_out_;
+};
+
+} // namespace raw
+
+#endif // RAW_ANALYSIS_LIVENESS_HPP

@@ -1,0 +1,84 @@
+#ifndef RAW_ANALYSIS_REPLICATION_HPP
+#define RAW_ANALYSIS_REPLICATION_HPP
+
+/**
+ * @file
+ * Control-replication analysis.
+ *
+ * On a Raw machine every tile (and every switch) runs its own
+ * instruction stream, so at the end of a basic block each stream must
+ * decide the same branch.  Two mechanisms exist:
+ *
+ *  1. *Broadcast*: the tile that computes the condition multicasts it
+ *     over the static network; every processor receives it and every
+ *     switch routes it into a local register and branches on it.
+ *
+ *  2. *Replication*: when the condition's backward slice consists only
+ *     of cheap, side-effect-free integer instructions whose leaves are
+ *     "replicable" variables (variables every one of whose writes is
+ *     itself such a slice — loop counters, bounds), every tile and
+ *     switch can maintain a private copy and compute the branch
+ *     locally with no communication at all.  This is what makes
+ *     counted loops (for-loops over constants) run without per-
+ *     iteration broadcast.
+ *
+ * This analysis computes the replicable-variable fixpoint, the set of
+ * *replicated* variables actually worth maintaining everywhere (the
+ * closure of variables reachable from replicable branch conditions),
+ * and per-block instruction sets to clone into every stream.
+ */
+
+#include <vector>
+
+#include "ir/function.hpp"
+
+namespace raw {
+
+/** Result of the analysis for one function. */
+class ReplicationAnalysis
+{
+  public:
+    /**
+     * @param fn         renamed function
+     * @param max_regs   register budget for private copies (per
+     *                   switch); exceeding it disables replication
+     * @param max_slice  maximum instructions in one branch slice
+     * @param enable     ablation switch; false forces broadcast
+     */
+    ReplicationAnalysis(const Function &fn, int max_regs = 8,
+                        int max_slice = 12, bool enable = true);
+
+    /** Is @p v maintained privately on every tile and switch? */
+    bool var_replicated(ValueId v) const { return replicated_[v]; }
+
+    /** Is the branch of @p block computed locally everywhere? */
+    bool branch_replicated(int block) const
+    {
+        return branch_replicated_[block];
+    }
+
+    /**
+     * Instruction indices of @p block to clone into every stream, in
+     * emission order (definitions precede uses): slices of
+     * replicated-variable write-backs plus the replicated branch
+     * slice, grouped per variable to minimize temp liveness.  Never
+     * includes the terminator.
+     */
+    const std::vector<int> &cloned_instrs(int block) const
+    {
+        return cloned_[block];
+    }
+
+    /** Number of replicated variables. */
+    int num_replicated_vars() const { return n_replicated_; }
+
+  private:
+    std::vector<bool> replicated_;
+    std::vector<bool> branch_replicated_;
+    std::vector<std::vector<int>> cloned_;
+    int n_replicated_ = 0;
+};
+
+} // namespace raw
+
+#endif // RAW_ANALYSIS_REPLICATION_HPP

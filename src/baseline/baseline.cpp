@@ -1,0 +1,248 @@
+#include "baseline/baseline.hpp"
+
+#include "analysis/replication.hpp"
+#include "frontend/lower.hpp"
+#include "frontend/parser.hpp"
+#include "ir/verifier.hpp"
+#include "rawcc/data_partitioner.hpp"
+#include "rawcc/regalloc.hpp"
+#include "support/error.hpp"
+#include "transform/constfold.hpp"
+#include "transform/simplify.hpp"
+#include "transform/strength.hpp"
+
+namespace raw {
+
+namespace {
+
+/**
+ * Latency-aware local list scheduling of one block, standing in for
+ * the instruction scheduling a production Mips back-end performs.
+ * Dependences: value flow, WAR/WAW on multiply-written variables,
+ * conservative same-array memory order, print order.  Returns a new
+ * instruction order.
+ */
+std::vector<VInstr>
+schedule_baseline_block(const Function &fn,
+                        const std::vector<VInstr> &code,
+                        const MachineConfig &m)
+{
+    const int n = static_cast<int>(code.size());
+    if (n <= 2)
+        return code;
+    // The terminator pair (branch [+ jump]) stays at the end.
+    int body = n;
+    while (body > 0 && (code[body - 1].op == Op::kJump ||
+                        code[body - 1].op == Op::kBranch ||
+                        code[body - 1].op == Op::kHalt))
+        body--;
+
+    std::vector<std::vector<int>> succs(body);
+    std::vector<int> preds_left(body, 0);
+    std::vector<int> lat(body, 1);
+    auto add_edge = [&](int a, int b) {
+        if (a < 0 || a == b)
+            return;
+        succs[a].push_back(b);
+        preds_left[b]++;
+    };
+
+    std::vector<int> last_write(fn.values.size(), -1);
+    std::vector<std::vector<int>> readers(fn.values.size());
+    int last_mem_store = -1;
+    std::vector<int> mem_refs;
+    int last_print = -1;
+    for (int k = 0; k < body; k++) {
+        const VInstr &in = code[k];
+        lat[k] = m.latency(op_fu(in.op));
+        for (ValueId s : in.src) {
+            if (s == kNoValue)
+                continue;
+            add_edge(last_write[s], k);
+            readers[s].push_back(k);
+        }
+        if (in.dst != kNoValue) {
+            add_edge(last_write[in.dst], k); // WAW
+            for (int r : readers[in.dst])
+                add_edge(r, k); // WAR
+            readers[in.dst].clear();
+            last_write[in.dst] = k;
+        }
+        if (op_is_memory(in.op)) {
+            bool is_store =
+                in.op == Op::kStore || in.op == Op::kDynStore;
+            if (is_store) {
+                for (int r : mem_refs)
+                    if (code[r].array == in.array)
+                        add_edge(r, k);
+            } else if (last_mem_store >= 0) {
+                for (int r : mem_refs) {
+                    const VInstr &o = code[r];
+                    if (o.array == in.array &&
+                        (o.op == Op::kStore || o.op == Op::kDynStore))
+                        add_edge(r, k);
+                }
+            }
+            mem_refs.push_back(k);
+            if (is_store)
+                last_mem_store = k;
+        }
+        if (in.op == Op::kPrint) {
+            add_edge(last_print, k);
+            last_print = k;
+        }
+    }
+    // The terminator's condition must still be computed last-ish; all
+    // remaining instructions precede the terminators implicitly.
+
+    // Bottom levels for priority.
+    std::vector<int64_t> blevel(body, 0);
+    for (int k = body; k-- > 0;) {
+        int64_t best = 0;
+        for (int s : succs[k])
+            best = std::max(best, blevel[s]);
+        blevel[k] = lat[k] + best;
+    }
+
+    // Greedy time-driven selection.
+    std::vector<int64_t> ready_at(body, 0);
+    std::vector<bool> emitted(body, false);
+    std::vector<int> ready;
+    for (int k = 0; k < body; k++)
+        if (preds_left[k] == 0)
+            ready.push_back(k);
+    std::vector<VInstr> out;
+    out.reserve(n);
+    int64_t now = 0;
+    int remaining = body;
+    while (remaining > 0) {
+        int pick = -1;
+        // Prefer the ready instruction with operands available now
+        // and the longest remaining path; else the soonest-ready.
+        for (int k : ready) {
+            if (emitted[k])
+                continue;
+            if (ready_at[k] <= now &&
+                (pick < 0 || blevel[k] > blevel[pick] ||
+                 (blevel[k] == blevel[pick] && k < pick)))
+                pick = k;
+        }
+        if (pick < 0) {
+            int64_t soonest = INT64_MAX;
+            for (int k : ready) {
+                if (emitted[k])
+                    continue;
+                if (ready_at[k] < soonest) {
+                    soonest = ready_at[k];
+                    pick = k;
+                }
+            }
+            now = ready_at[pick];
+        }
+        emitted[pick] = true;
+        remaining--;
+        out.push_back(code[pick]);
+        int64_t fin = std::max(now, ready_at[pick]) + lat[pick];
+        now = std::max(now + 1, std::max(now, ready_at[pick]) + 1);
+        for (int s : succs[pick]) {
+            ready_at[s] = std::max(ready_at[s], fin);
+            if (--preds_left[s] == 0)
+                ready.push_back(s);
+        }
+    }
+    for (int k = body; k < n; k++)
+        out.push_back(code[k]);
+    return out;
+}
+
+} // namespace
+
+CompileOutput
+compile_baseline(const std::string &source)
+{
+    return compile_baseline_for(source, MachineConfig::base(1));
+}
+
+CompileOutput
+compile_baseline_for(const std::string &source,
+                     const MachineConfig &machine)
+{
+    check(machine.n_tiles == 1, "baseline compiles for one tile");
+    Program ast = parse_program(source);
+    Function fn = lower_program(ast);
+    constfold_function(fn);
+    while (simplify_cfg(fn))
+        constfold_function(fn);
+    strength_reduce(fn);
+    constfold_function(fn);
+    verify_or_panic(fn, "baseline lowering");
+
+    // No replication, no parallel orchestration: straight-line
+    // per-block code on tile 0.
+    ReplicationAnalysis no_repl(fn, 8, 12, false);
+    DataPartition data = partition_data(fn, no_repl, machine);
+
+    const int n_blocks = static_cast<int>(fn.blocks.size());
+    std::vector<std::vector<VInstr>> blocks(n_blocks);
+    int num_prints = 0;
+    for (int b = 0; b < n_blocks; b++) {
+        const Block &blk = fn.blocks[b];
+        for (size_t k = 0; k + 1 < blk.instrs.size(); k++) {
+            const Instr &in = blk.instrs[k];
+            VInstr v;
+            v.op = in.op;
+            v.type = in.type;
+            v.dst = in.dst;
+            v.src[0] = in.src[0];
+            v.src[1] = in.src[1];
+            v.imm = in.imm_bits;
+            v.array = in.array;
+            if (in.op == Op::kPrint)
+                v.print_seq = num_prints++;
+            blocks[b].push_back(v);
+        }
+        const Instr &term = blk.terminator();
+        if (term.op == Op::kJump) {
+            VInstr v;
+            v.op = Op::kJump;
+            v.target_block = term.target[0];
+            blocks[b].push_back(v);
+        } else if (term.op == Op::kBranch) {
+            VInstr br;
+            br.op = Op::kBranch;
+            br.src[0] = term.src[0];
+            br.target_block = term.target[0];
+            blocks[b].push_back(br);
+            VInstr jf;
+            jf.op = Op::kJump;
+            jf.target_block = term.target[1];
+            blocks[b].push_back(jf);
+        } else {
+            VInstr v;
+            v.op = Op::kHalt;
+            blocks[b].push_back(v);
+        }
+        blocks[b] = schedule_baseline_block(fn, blocks[b], machine);
+    }
+
+    // Assemble a one-tile VirtualProgram and reuse the linker.
+    VirtualProgram vp;
+    vp.tiles.assign(1, std::move(blocks));
+    vp.switches.assign(1,
+                       std::vector<std::vector<SInstr>>(n_blocks));
+    vp.switch_active.assign(1, false);
+    vp.persistent.assign(1, fn.var_ids());
+    vp.data = data;
+    vp.num_prints = num_prints;
+
+    CompileOutput out;
+    LinkStats ls;
+    out.program = link_program(fn, vp, machine, &ls);
+    out.stats.spill_ops = ls.spill_ops;
+    out.stats.ir_instrs = static_cast<int64_t>(fn.num_instrs());
+    out.stats.static_instrs = out.program.static_instrs();
+    out.fn = std::move(fn);
+    return out;
+}
+
+} // namespace raw

@@ -1,0 +1,36 @@
+#ifndef RAW_BASELINE_BASELINE_HPP
+#define RAW_BASELINE_BASELINE_HPP
+
+/**
+ * @file
+ * Sequential baseline compiler — the stand-in for the "basic Mips
+ * compiler provided by Machsuif" the paper's speedups are measured
+ * against (Section 6).
+ *
+ * Compiles the original (un-unrolled) program for a single tile:
+ * instructions in program order, no renaming, no orchestration, no
+ * communication; variables are register-allocated with the same
+ * linear-scan allocator the parallel compiler uses.  Speedup of a
+ * RAWCC compilation is sequential cycles / parallel cycles.
+ */
+
+#include <string>
+
+#include "rawcc/compiler.hpp"
+
+namespace raw {
+
+/** Compile @p source sequentially for one tile. */
+CompileOutput compile_baseline(const std::string &source);
+
+/**
+ * Compile sequentially for a one-tile machine with custom parameters
+ * (e.g. inf-reg or 1-cycle configurations for the Figure 8
+ * experiment).  @p machine.n_tiles must be 1.
+ */
+CompileOutput compile_baseline_for(const std::string &source,
+                                   const MachineConfig &machine);
+
+} // namespace raw
+
+#endif // RAW_BASELINE_BASELINE_HPP

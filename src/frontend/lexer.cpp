@@ -1,0 +1,183 @@
+#include "frontend/lexer.hpp"
+
+#include <cctype>
+#include <cstdlib>
+#include <unordered_map>
+
+#include "support/error.hpp"
+
+namespace raw {
+
+namespace {
+
+const std::unordered_map<std::string, Tok> kKeywords = {
+    {"int", Tok::kKwInt},     {"float", Tok::kKwFloat},
+    {"if", Tok::kKwIf},       {"else", Tok::kKwElse},
+    {"while", Tok::kKwWhile}, {"for", Tok::kKwFor},
+    {"print", Tok::kKwPrint},
+};
+
+} // namespace
+
+std::vector<Token>
+tokenize(const std::string &src)
+{
+    std::vector<Token> out;
+    size_t i = 0;
+    int line = 1, col = 1;
+
+    auto advance = [&](size_t n) {
+        for (size_t k = 0; k < n; k++) {
+            if (i < src.size() && src[i] == '\n') {
+                line++;
+                col = 1;
+            } else {
+                col++;
+            }
+            i++;
+        }
+    };
+    auto err = [&](const std::string &msg) {
+        fatal("lex error at " + std::to_string(line) + ":" +
+              std::to_string(col) + ": " + msg);
+    };
+    auto push = [&](Tok k, const std::string &text) {
+        Token t;
+        t.kind = k;
+        t.text = text;
+        t.line = line;
+        t.col = col;
+        out.push_back(t);
+        advance(text.size());
+    };
+
+    while (i < src.size()) {
+        char c = src[i];
+        if (std::isspace(static_cast<unsigned char>(c))) {
+            advance(1);
+            continue;
+        }
+        if (c == '/' && i + 1 < src.size() && src[i + 1] == '/') {
+            while (i < src.size() && src[i] != '\n')
+                advance(1);
+            continue;
+        }
+        if (c == '/' && i + 1 < src.size() && src[i + 1] == '*') {
+            advance(2);
+            while (i + 1 < src.size() &&
+                   !(src[i] == '*' && src[i + 1] == '/'))
+                advance(1);
+            if (i + 1 >= src.size())
+                err("unterminated block comment");
+            advance(2);
+            continue;
+        }
+        if (std::isalpha(static_cast<unsigned char>(c)) || c == '_') {
+            size_t j = i;
+            while (j < src.size() &&
+                   (std::isalnum(static_cast<unsigned char>(src[j])) ||
+                    src[j] == '_'))
+                j++;
+            std::string word = src.substr(i, j - i);
+            auto kw = kKeywords.find(word);
+            push(kw != kKeywords.end() ? kw->second : Tok::kIdent, word);
+            continue;
+        }
+        if (std::isdigit(static_cast<unsigned char>(c))) {
+            size_t j = i;
+            bool is_float = false;
+            while (j < src.size() &&
+                   std::isdigit(static_cast<unsigned char>(src[j])))
+                j++;
+            if (j < src.size() && src[j] == '.') {
+                is_float = true;
+                j++;
+                while (j < src.size() &&
+                       std::isdigit(static_cast<unsigned char>(src[j])))
+                    j++;
+            }
+            if (j < src.size() && (src[j] == 'e' || src[j] == 'E')) {
+                is_float = true;
+                j++;
+                if (j < src.size() && (src[j] == '+' || src[j] == '-'))
+                    j++;
+                while (j < src.size() &&
+                       std::isdigit(static_cast<unsigned char>(src[j])))
+                    j++;
+            }
+            if (j < src.size() && src[j] == 'f') {
+                is_float = true;
+                j++;
+            }
+            std::string text = src.substr(i, j - i);
+            Token t;
+            t.text = text;
+            t.line = line;
+            t.col = col;
+            if (is_float) {
+                t.kind = Tok::kFloatLit;
+                t.float_val = std::strtof(text.c_str(), nullptr);
+            } else {
+                t.kind = Tok::kIntLit;
+                t.int_val =
+                    static_cast<int32_t>(std::strtol(text.c_str(),
+                                                     nullptr, 10));
+            }
+            out.push_back(t);
+            advance(text.size());
+            continue;
+        }
+        // Two-character operators first.
+        if (i + 1 < src.size()) {
+            std::string two = src.substr(i, 2);
+            Tok k = Tok::kEof;
+            if (two == "<=") k = Tok::kLe;
+            else if (two == ">=") k = Tok::kGe;
+            else if (two == "==") k = Tok::kEq;
+            else if (two == "!=") k = Tok::kNe;
+            else if (two == "<<") k = Tok::kShl;
+            else if (two == ">>") k = Tok::kShr;
+            else if (two == "&&") k = Tok::kAndAnd;
+            else if (two == "||") k = Tok::kOrOr;
+            if (k != Tok::kEof) {
+                push(k, two);
+                continue;
+            }
+        }
+        Tok k = Tok::kEof;
+        switch (c) {
+          case '(': k = Tok::kLParen; break;
+          case ')': k = Tok::kRParen; break;
+          case '{': k = Tok::kLBrace; break;
+          case '}': k = Tok::kRBrace; break;
+          case '[': k = Tok::kLBracket; break;
+          case ']': k = Tok::kRBracket; break;
+          case ';': k = Tok::kSemi; break;
+          case ',': k = Tok::kComma; break;
+          case '=': k = Tok::kAssign; break;
+          case '+': k = Tok::kPlus; break;
+          case '-': k = Tok::kMinus; break;
+          case '*': k = Tok::kStar; break;
+          case '/': k = Tok::kSlash; break;
+          case '%': k = Tok::kPercent; break;
+          case '<': k = Tok::kLt; break;
+          case '>': k = Tok::kGt; break;
+          case '&': k = Tok::kAmp; break;
+          case '|': k = Tok::kPipe; break;
+          case '^': k = Tok::kCaret; break;
+          case '!': k = Tok::kBang; break;
+          default:
+            err(std::string("unexpected character '") + c + "'");
+        }
+        push(k, std::string(1, c));
+    }
+
+    Token eof;
+    eof.kind = Tok::kEof;
+    eof.line = line;
+    eof.col = col;
+    out.push_back(eof);
+    return out;
+}
+
+} // namespace raw

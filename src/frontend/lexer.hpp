@@ -1,0 +1,50 @@
+#ifndef RAW_FRONTEND_LEXER_HPP
+#define RAW_FRONTEND_LEXER_HPP
+
+/**
+ * @file
+ * Hand-written lexer for rawc.
+ */
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace raw {
+
+/** Token kinds. */
+enum class Tok : uint8_t {
+    kEof,
+    kIdent,
+    kIntLit,
+    kFloatLit,
+    kKwInt, kKwFloat, kKwIf, kKwElse, kKwWhile, kKwFor, kKwPrint,
+    kLParen, kRParen, kLBrace, kRBrace, kLBracket, kRBracket,
+    kSemi, kComma,
+    kAssign,                       // =
+    kPlus, kMinus, kStar, kSlash, kPercent,
+    kLt, kLe, kGt, kGe, kEq, kNe,
+    kAmp, kPipe, kCaret, kShl, kShr,
+    kAndAnd, kOrOr, kBang,
+};
+
+/** One token with its source position. */
+struct Token
+{
+    Tok kind = Tok::kEof;
+    std::string text;
+    int32_t int_val = 0;
+    float float_val = 0.0f;
+    int line = 0;
+    int col = 0;
+};
+
+/**
+ * Tokenize @p source.  Throws FatalError with line/column info on a
+ * lexical error.  Supports // and block comments.
+ */
+std::vector<Token> tokenize(const std::string &source);
+
+} // namespace raw
+
+#endif // RAW_FRONTEND_LEXER_HPP

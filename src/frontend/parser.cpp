@@ -1,0 +1,525 @@
+#include "frontend/parser.hpp"
+
+#include <unordered_map>
+
+#include "frontend/lexer.hpp"
+#include "support/error.hpp"
+
+namespace raw {
+
+namespace {
+
+/** Parser state: token stream plus symbol tables. */
+class Parser
+{
+  public:
+    explicit Parser(const std::string &src) : toks_(tokenize(src)) {}
+
+    Program
+    parse()
+    {
+        Program p;
+        while (peek().kind != Tok::kEof)
+            p.stmts.push_back(parse_stmt());
+        return p;
+    }
+
+  private:
+    std::vector<Token> toks_;
+    size_t pos_ = 0;
+    std::unordered_map<std::string, Type> scalars_;
+    std::unordered_map<std::string, std::pair<Type, size_t>> arrays_;
+
+    const Token &peek(int ahead = 0) const
+    {
+        size_t i = pos_ + ahead;
+        return i < toks_.size() ? toks_[i] : toks_.back();
+    }
+    const Token &
+    next()
+    {
+        const Token &t = peek();
+        if (pos_ + 1 < toks_.size())
+            pos_++;
+        return t;
+    }
+    [[noreturn]] void
+    err(const std::string &msg)
+    {
+        const Token &t = peek();
+        fatal("parse error at " + std::to_string(t.line) + ":" +
+              std::to_string(t.col) + " near '" + t.text + "': " + msg);
+    }
+    const Token &
+    expect(Tok k, const std::string &what)
+    {
+        if (peek().kind != k)
+            err("expected " + what);
+        return next();
+    }
+
+    ExprPtr
+    coerce(ExprPtr e, Type want)
+    {
+        if (e->type == want)
+            return e;
+        auto c = std::make_unique<Expr>();
+        c->kind = ExprKind::kCast;
+        c->type = want;
+        c->kids.push_back(std::move(e));
+        return c;
+    }
+
+    /** Unify operand types for arithmetic; returns result type. */
+    Type
+    unify(ExprPtr &l, ExprPtr &r)
+    {
+        if (l->type == Type::kF32 || r->type == Type::kF32) {
+            l = coerce(std::move(l), Type::kF32);
+            r = coerce(std::move(r), Type::kF32);
+            return Type::kF32;
+        }
+        return Type::kI32;
+    }
+
+    ExprPtr
+    binary(const std::string &op, ExprPtr l, ExprPtr r)
+    {
+        bool cmp = op == "<" || op == "<=" || op == ">" || op == ">=" ||
+                   op == "==" || op == "!=";
+        bool int_only = op == "%" || op == "&" || op == "|" || op == "^" ||
+                        op == "<<" || op == ">>" || op == "&&" ||
+                        op == "||";
+        auto e = std::make_unique<Expr>();
+        e->kind = ExprKind::kBinary;
+        e->op = op;
+        if (int_only) {
+            if (l->type != Type::kI32 || r->type != Type::kI32)
+                err("operator '" + op + "' requires int operands");
+            e->type = Type::kI32;
+        } else {
+            Type t = unify(l, r);
+            e->type = cmp ? Type::kI32 : t;
+        }
+        e->kids.push_back(std::move(l));
+        e->kids.push_back(std::move(r));
+        return e;
+    }
+
+    // Expression grammar, lowest precedence first.
+    ExprPtr
+    parse_expr()
+    {
+        return parse_or();
+    }
+    ExprPtr
+    parse_or()
+    {
+        ExprPtr e = parse_and();
+        while (peek().kind == Tok::kOrOr) {
+            next();
+            e = binary("||", std::move(e), parse_and());
+        }
+        return e;
+    }
+    ExprPtr
+    parse_and()
+    {
+        ExprPtr e = parse_bitor();
+        while (peek().kind == Tok::kAndAnd) {
+            next();
+            e = binary("&&", std::move(e), parse_bitor());
+        }
+        return e;
+    }
+    ExprPtr
+    parse_bitor()
+    {
+        ExprPtr e = parse_bitxor();
+        while (peek().kind == Tok::kPipe) {
+            next();
+            e = binary("|", std::move(e), parse_bitxor());
+        }
+        return e;
+    }
+    ExprPtr
+    parse_bitxor()
+    {
+        ExprPtr e = parse_bitand();
+        while (peek().kind == Tok::kCaret) {
+            next();
+            e = binary("^", std::move(e), parse_bitand());
+        }
+        return e;
+    }
+    ExprPtr
+    parse_bitand()
+    {
+        ExprPtr e = parse_equality();
+        while (peek().kind == Tok::kAmp) {
+            next();
+            e = binary("&", std::move(e), parse_equality());
+        }
+        return e;
+    }
+    ExprPtr
+    parse_equality()
+    {
+        ExprPtr e = parse_rel();
+        while (peek().kind == Tok::kEq || peek().kind == Tok::kNe) {
+            std::string op = next().text;
+            e = binary(op, std::move(e), parse_rel());
+        }
+        return e;
+    }
+    ExprPtr
+    parse_rel()
+    {
+        ExprPtr e = parse_shift();
+        while (peek().kind == Tok::kLt || peek().kind == Tok::kLe ||
+               peek().kind == Tok::kGt || peek().kind == Tok::kGe) {
+            std::string op = next().text;
+            e = binary(op, std::move(e), parse_shift());
+        }
+        return e;
+    }
+    ExprPtr
+    parse_shift()
+    {
+        ExprPtr e = parse_add();
+        while (peek().kind == Tok::kShl || peek().kind == Tok::kShr) {
+            std::string op = next().text;
+            e = binary(op, std::move(e), parse_add());
+        }
+        return e;
+    }
+    ExprPtr
+    parse_add()
+    {
+        ExprPtr e = parse_mul();
+        while (peek().kind == Tok::kPlus || peek().kind == Tok::kMinus) {
+            std::string op = next().text;
+            e = binary(op, std::move(e), parse_mul());
+        }
+        return e;
+    }
+    ExprPtr
+    parse_mul()
+    {
+        ExprPtr e = parse_unary();
+        while (peek().kind == Tok::kStar || peek().kind == Tok::kSlash ||
+               peek().kind == Tok::kPercent) {
+            std::string op = next().text;
+            e = binary(op, std::move(e), parse_unary());
+        }
+        return e;
+    }
+    ExprPtr
+    parse_unary()
+    {
+        if (peek().kind == Tok::kMinus) {
+            next();
+            ExprPtr k = parse_unary();
+            auto e = std::make_unique<Expr>();
+            e->kind = ExprKind::kUnary;
+            e->op = "-";
+            e->type = k->type;
+            e->kids.push_back(std::move(k));
+            return e;
+        }
+        if (peek().kind == Tok::kBang) {
+            next();
+            ExprPtr k = parse_unary();
+            if (k->type != Type::kI32)
+                err("'!' requires int operand");
+            auto e = std::make_unique<Expr>();
+            e->kind = ExprKind::kUnary;
+            e->op = "!";
+            e->type = Type::kI32;
+            e->kids.push_back(std::move(k));
+            return e;
+        }
+        // Cast: (int) or (float) followed by unary.
+        if (peek().kind == Tok::kLParen &&
+            (peek(1).kind == Tok::kKwInt || peek(1).kind == Tok::kKwFloat)
+            && peek(2).kind == Tok::kRParen) {
+            next();
+            Type t = next().kind == Tok::kKwInt ? Type::kI32 : Type::kF32;
+            next();
+            ExprPtr k = parse_unary();
+            auto e = std::make_unique<Expr>();
+            e->kind = ExprKind::kCast;
+            e->type = t;
+            e->kids.push_back(std::move(k));
+            return e;
+        }
+        return parse_primary();
+    }
+    ExprPtr
+    parse_primary()
+    {
+        const Token &t = peek();
+        if (t.kind == Tok::kIntLit) {
+            next();
+            return make_int_lit(t.int_val);
+        }
+        if (t.kind == Tok::kFloatLit) {
+            next();
+            return make_float_lit(t.float_val);
+        }
+        if (t.kind == Tok::kLParen) {
+            next();
+            ExprPtr e = parse_expr();
+            expect(Tok::kRParen, "')'");
+            return e;
+        }
+        if (t.kind == Tok::kIdent) {
+            std::string name = next().text;
+            if (name == "sqrt" && peek().kind == Tok::kLParen) {
+                next();
+                ExprPtr arg = coerce(parse_expr(), Type::kF32);
+                expect(Tok::kRParen, "')'");
+                auto e = std::make_unique<Expr>();
+                e->kind = ExprKind::kUnary;
+                e->op = "sqrt";
+                e->type = Type::kF32;
+                e->kids.push_back(std::move(arg));
+                return e;
+            }
+            if (peek().kind == Tok::kLBracket) {
+                auto it = arrays_.find(name);
+                if (it == arrays_.end())
+                    err("undeclared array '" + name + "'");
+                auto e = std::make_unique<Expr>();
+                e->kind = ExprKind::kArray;
+                e->name = name;
+                e->type = it->second.first;
+                while (peek().kind == Tok::kLBracket) {
+                    next();
+                    ExprPtr idx = parse_expr();
+                    if (idx->type != Type::kI32)
+                        err("array index must be int");
+                    e->kids.push_back(std::move(idx));
+                    expect(Tok::kRBracket, "']'");
+                }
+                if (e->kids.size() != it->second.second)
+                    err("wrong number of subscripts for '" + name + "'");
+                return e;
+            }
+            auto it = scalars_.find(name);
+            if (it == scalars_.end())
+                err("undeclared variable '" + name + "'");
+            return make_var(name, it->second);
+        }
+        err("expected expression");
+    }
+
+    std::vector<StmtPtr>
+    parse_block()
+    {
+        expect(Tok::kLBrace, "'{'");
+        std::vector<StmtPtr> out;
+        while (peek().kind != Tok::kRBrace)
+            out.push_back(parse_stmt());
+        next();
+        return out;
+    }
+
+    StmtPtr
+    parse_stmt()
+    {
+        const Token &t = peek();
+        if (t.kind == Tok::kKwInt || t.kind == Tok::kKwFloat)
+            return parse_decl();
+        if (t.kind == Tok::kKwIf)
+            return parse_if();
+        if (t.kind == Tok::kKwWhile)
+            return parse_while();
+        if (t.kind == Tok::kKwFor)
+            return parse_for();
+        if (t.kind == Tok::kKwPrint) {
+            next();
+            expect(Tok::kLParen, "'('");
+            auto s = std::make_unique<Stmt>();
+            s->kind = StmtKind::kPrint;
+            s->expr = parse_expr();
+            expect(Tok::kRParen, "')'");
+            expect(Tok::kSemi, "';'");
+            return s;
+        }
+        if (t.kind == Tok::kIdent)
+            return parse_assign();
+        err("expected statement");
+    }
+
+    StmtPtr
+    parse_decl()
+    {
+        Type ty = next().kind == Tok::kKwInt ? Type::kI32 : Type::kF32;
+        std::string name = expect(Tok::kIdent, "identifier").text;
+        if (scalars_.count(name) || arrays_.count(name))
+            err("redeclaration of '" + name + "'");
+        auto s = std::make_unique<Stmt>();
+        s->type = ty;
+        s->name = name;
+        if (peek().kind == Tok::kLBracket) {
+            s->kind = StmtKind::kDeclArray;
+            while (peek().kind == Tok::kLBracket) {
+                next();
+                const Token &d = expect(Tok::kIntLit,
+                                        "constant array dimension");
+                if (d.int_val <= 0)
+                    err("array dimension must be positive");
+                s->dims.push_back(d.int_val);
+                expect(Tok::kRBracket, "']'");
+            }
+            arrays_[name] = {ty, s->dims.size()};
+        } else {
+            s->kind = StmtKind::kDeclScalar;
+            if (peek().kind == Tok::kAssign) {
+                next();
+                s->expr = coerce(parse_expr(), ty);
+            }
+            scalars_[name] = ty;
+        }
+        expect(Tok::kSemi, "';'");
+        return s;
+    }
+
+    StmtPtr
+    parse_assign()
+    {
+        std::string name = next().text;
+        auto s = std::make_unique<Stmt>();
+        s->name = name;
+        if (peek().kind == Tok::kLBracket) {
+            auto it = arrays_.find(name);
+            if (it == arrays_.end())
+                err("undeclared array '" + name + "'");
+            s->kind = StmtKind::kArrayAssign;
+            while (peek().kind == Tok::kLBracket) {
+                next();
+                ExprPtr idx = parse_expr();
+                if (idx->type != Type::kI32)
+                    err("array index must be int");
+                s->indices.push_back(std::move(idx));
+                expect(Tok::kRBracket, "']'");
+            }
+            if (s->indices.size() != it->second.second)
+                err("wrong number of subscripts for '" + name + "'");
+            expect(Tok::kAssign, "'='");
+            s->expr = coerce(parse_expr(), it->second.first);
+        } else {
+            auto it = scalars_.find(name);
+            if (it == scalars_.end())
+                err("undeclared variable '" + name + "'");
+            s->kind = StmtKind::kAssign;
+            expect(Tok::kAssign, "'='");
+            s->expr = coerce(parse_expr(), it->second);
+        }
+        expect(Tok::kSemi, "';'");
+        return s;
+    }
+
+    StmtPtr
+    parse_if()
+    {
+        next();
+        expect(Tok::kLParen, "'('");
+        auto s = std::make_unique<Stmt>();
+        s->kind = StmtKind::kIf;
+        s->expr = parse_expr();
+        if (s->expr->type != Type::kI32)
+            err("condition must be int");
+        expect(Tok::kRParen, "')'");
+        s->body = parse_block();
+        if (peek().kind == Tok::kKwElse) {
+            next();
+            if (peek().kind == Tok::kKwIf) {
+                s->else_body.push_back(parse_if());
+            } else {
+                s->else_body = parse_block();
+            }
+        }
+        return s;
+    }
+
+    StmtPtr
+    parse_while()
+    {
+        next();
+        expect(Tok::kLParen, "'('");
+        auto s = std::make_unique<Stmt>();
+        s->kind = StmtKind::kWhile;
+        s->expr = parse_expr();
+        if (s->expr->type != Type::kI32)
+            err("condition must be int");
+        expect(Tok::kRParen, "')'");
+        s->body = parse_block();
+        return s;
+    }
+
+    /** for (i = e; i CMP e; i = i +/- c) — canonical form only. */
+    StmtPtr
+    parse_for()
+    {
+        next();
+        expect(Tok::kLParen, "'('");
+        std::string iv = expect(Tok::kIdent, "loop variable").text;
+        auto it = scalars_.find(iv);
+        if (it == scalars_.end())
+            err("undeclared loop variable '" + iv + "'");
+        if (it->second != Type::kI32)
+            err("loop variable must be int");
+        auto s = std::make_unique<Stmt>();
+        s->kind = StmtKind::kFor;
+        s->name = iv;
+        expect(Tok::kAssign, "'='");
+        s->expr = coerce(parse_expr(), Type::kI32);
+        expect(Tok::kSemi, "';'");
+        std::string iv2 = expect(Tok::kIdent, "loop variable").text;
+        if (iv2 != iv)
+            err("for condition must test the loop variable");
+        Tok cmp = peek().kind;
+        if (cmp != Tok::kLt && cmp != Tok::kLe && cmp != Tok::kGt &&
+            cmp != Tok::kGe)
+            err("for condition must be a comparison");
+        s->cmp = next().text;
+        s->bound = coerce(parse_expr(), Type::kI32);
+        expect(Tok::kSemi, "';'");
+        std::string iv3 = expect(Tok::kIdent, "loop variable").text;
+        if (iv3 != iv)
+            err("for increment must update the loop variable");
+        expect(Tok::kAssign, "'='");
+        std::string iv4 = expect(Tok::kIdent, "loop variable").text;
+        if (iv4 != iv)
+            err("for increment must be i = i +/- constant");
+        bool neg = false;
+        if (peek().kind == Tok::kPlus) {
+            next();
+        } else if (peek().kind == Tok::kMinus) {
+            next();
+            neg = true;
+        } else {
+            err("for increment must be i = i +/- constant");
+        }
+        const Token &st = expect(Tok::kIntLit, "constant step");
+        if (st.int_val <= 0)
+            err("for step must be a positive constant");
+        s->step = neg ? -st.int_val : st.int_val;
+        expect(Tok::kRParen, "')'");
+        s->body = parse_block();
+        return s;
+    }
+};
+
+} // namespace
+
+Program
+parse_program(const std::string &source)
+{
+    Parser p(source);
+    return p.parse();
+}
+
+} // namespace raw

@@ -1,0 +1,24 @@
+#ifndef RAW_FRONTEND_PARSER_HPP
+#define RAW_FRONTEND_PARSER_HPP
+
+/**
+ * @file
+ * Recursive-descent parser + type checker for rawc.
+ */
+
+#include <string>
+
+#include "frontend/ast.hpp"
+
+namespace raw {
+
+/**
+ * Parse and type-check @p source into an AST.  Throws FatalError with
+ * position info on syntax or type errors.  Implicit int->float
+ * conversions are made explicit as kCast nodes.
+ */
+Program parse_program(const std::string &source);
+
+} // namespace raw
+
+#endif // RAW_FRONTEND_PARSER_HPP

@@ -1,0 +1,492 @@
+#include "frontend/unroll.hpp"
+
+#include <map>
+#include <optional>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "support/error.hpp"
+#include "support/mathutil.hpp"
+
+namespace raw {
+
+namespace {
+
+int64_t
+expr_weight(const Expr &e)
+{
+    int64_t w = 1;
+    for (const ExprPtr &k : e.kids)
+        w += expr_weight(*k);
+    return w;
+}
+
+/** An affine form: const + sum(coeff * var). */
+struct Affine
+{
+    bool valid = true;
+    int64_t c0 = 0;
+    std::map<std::string, int64_t> coeffs;
+
+    static Affine invalid()
+    {
+        Affine a;
+        a.valid = false;
+        return a;
+    }
+};
+
+/** Environment of compile-time-constant scalars. */
+using ConstEnv = std::unordered_map<std::string, int64_t>;
+
+Affine
+affine_of(const Expr &e, const ConstEnv &consts)
+{
+    switch (e.kind) {
+      case ExprKind::kIntLit: {
+        Affine a;
+        a.c0 = e.int_val;
+        return a;
+      }
+      case ExprKind::kVar: {
+        auto it = consts.find(e.name);
+        Affine a;
+        if (it != consts.end()) {
+            a.c0 = it->second;
+        } else {
+            a.coeffs[e.name] = 1;
+        }
+        return a;
+      }
+      case ExprKind::kUnary: {
+        if (e.op != "-")
+            return Affine::invalid();
+        Affine a = affine_of(*e.kids[0], consts);
+        if (!a.valid)
+            return a;
+        a.c0 = -a.c0;
+        for (auto &kv : a.coeffs)
+            kv.second = -kv.second;
+        return a;
+      }
+      case ExprKind::kBinary: {
+        Affine l = affine_of(*e.kids[0], consts);
+        Affine r = affine_of(*e.kids[1], consts);
+        if (!l.valid || !r.valid)
+            return Affine::invalid();
+        if (e.op == "+" || e.op == "-") {
+            int64_t sign = e.op == "+" ? 1 : -1;
+            l.c0 += sign * r.c0;
+            for (auto &kv : r.coeffs) {
+                l.coeffs[kv.first] += sign * kv.second;
+                if (l.coeffs[kv.first] == 0)
+                    l.coeffs.erase(kv.first);
+            }
+            return l;
+        }
+        if (e.op == "*") {
+            const Affine *cst = r.coeffs.empty() ? &r : nullptr;
+            const Affine *var = cst == &r ? &l : nullptr;
+            if (!cst && l.coeffs.empty()) {
+                cst = &l;
+                var = &r;
+            }
+            if (!cst)
+                return Affine::invalid();
+            Affine out;
+            out.c0 = var->c0 * cst->c0;
+            for (auto &kv : var->coeffs) {
+                if (kv.second * cst->c0 != 0)
+                    out.coeffs[kv.first] = kv.second * cst->c0;
+            }
+            return out;
+        }
+        return Affine::invalid();
+      }
+      default:
+        return Affine::invalid();
+    }
+}
+
+/** Constant-fold an int expression under @p consts; nullopt if not. */
+std::optional<int64_t>
+const_eval(const Expr &e, const ConstEnv &consts)
+{
+    Affine a = affine_of(e, consts);
+    if (a.valid && a.coeffs.empty())
+        return a.c0;
+    // Allow a few non-affine constant folds (/, %, <<).
+    if (e.kind == ExprKind::kBinary) {
+        auto l = const_eval(*e.kids[0], consts);
+        auto r = const_eval(*e.kids[1], consts);
+        if (l && r) {
+            if (e.op == "/" && *r != 0)
+                return *l / *r;
+            if (e.op == "%" && *r != 0)
+                return *l % *r;
+            if (e.op == "<<")
+                return *l << *r;
+            if (e.op == ">>")
+                return *l >> *r;
+        }
+    }
+    return std::nullopt;
+}
+
+/** Names assigned anywhere in a statement list (recursively). */
+void
+collect_assigned(const std::vector<StmtPtr> &stmts,
+                 std::unordered_set<std::string> &out)
+{
+    for (const StmtPtr &s : stmts) {
+        switch (s->kind) {
+          case StmtKind::kAssign:
+            out.insert(s->name);
+            break;
+          case StmtKind::kFor:
+            out.insert(s->name);
+            collect_assigned(s->body, out);
+            break;
+          case StmtKind::kIf:
+            collect_assigned(s->body, out);
+            collect_assigned(s->else_body, out);
+            break;
+          case StmtKind::kWhile:
+            collect_assigned(s->body, out);
+            break;
+          default:
+            break;
+        }
+    }
+}
+
+/** True if the statement list assigns @p name anywhere. */
+bool
+assigns_var(const std::vector<StmtPtr> &stmts, const std::string &name)
+{
+    std::unordered_set<std::string> assigned;
+    collect_assigned(stmts, assigned);
+    return assigned.count(name) > 0;
+}
+
+/** Substitute variable @p iv in an expression. */
+ExprPtr
+subst_expr(const Expr &e, const std::string &iv, int64_t offset,
+           bool exact, int64_t exact_value)
+{
+    if (e.kind == ExprKind::kVar && e.name == iv) {
+        if (exact)
+            return make_int_lit(static_cast<int32_t>(exact_value));
+        if (offset == 0)
+            return e.clone();
+        return make_binary("+", e.clone(),
+                           make_int_lit(static_cast<int32_t>(offset)));
+    }
+    ExprPtr c = e.clone();
+    for (ExprPtr &k : c->kids)
+        k = subst_expr(*k, iv, offset, exact, exact_value);
+    return c;
+}
+
+StmtPtr
+subst_stmt(const Stmt &s, const std::string &iv, int64_t offset,
+           bool exact, int64_t exact_value)
+{
+    StmtPtr c = s.clone();
+    auto fix = [&](ExprPtr &e) {
+        if (e)
+            e = subst_expr(*e, iv, offset, exact, exact_value);
+    };
+    fix(c->expr);
+    for (ExprPtr &i : c->indices)
+        i = subst_expr(*i, iv, offset, exact, exact_value);
+    fix(c->bound);
+    for (StmtPtr &b : c->body)
+        b = subst_stmt(*b, iv, offset, exact, exact_value);
+    for (StmtPtr &b : c->else_body)
+        b = subst_stmt(*b, iv, offset, exact, exact_value);
+    return c;
+}
+
+/** The unroll pass. */
+class Unroller
+{
+  public:
+    Unroller(const UnrollOptions &opts,
+             const std::unordered_map<std::string, std::vector<int64_t>>
+                 &array_dims,
+             const ConstEnv &consts)
+        : opts_(opts), array_dims_(array_dims), consts_(consts)
+    {}
+
+    UnrollStats stats;
+
+    void
+    run(std::vector<StmtPtr> &stmts)
+    {
+        std::vector<StmtPtr> out;
+        for (StmtPtr &s : stmts) {
+            switch (s->kind) {
+              case StmtKind::kIf:
+                run(s->body);
+                run(s->else_body);
+                out.push_back(std::move(s));
+                break;
+              case StmtKind::kWhile:
+                run(s->body);
+                out.push_back(std::move(s));
+                break;
+              case StmtKind::kFor:
+                run(s->body);
+                stats.loops_seen++;
+                transform_for(std::move(s), out);
+                break;
+              default:
+                out.push_back(std::move(s));
+                break;
+            }
+        }
+        stmts = std::move(out);
+    }
+
+  private:
+    const UnrollOptions &opts_;
+    const std::unordered_map<std::string, std::vector<int64_t>>
+        &array_dims_;
+    const ConstEnv &consts_;
+
+    /** Flat-index coefficient of @p iv over one array access. */
+    void
+    access_coeff(const std::string &array,
+                 const std::vector<ExprPtr> &indices,
+                 const std::string &iv, std::vector<int64_t> &coeffs)
+    {
+        auto it = array_dims_.find(array);
+        if (it == array_dims_.end())
+            return;
+        const std::vector<int64_t> &dims = it->second;
+        int64_t stride = 1;
+        int64_t c = 0;
+        bool ok = true;
+        for (size_t d = indices.size(); d-- > 0;) {
+            Affine a = affine_of(*indices[d], consts_);
+            if (!a.valid) {
+                ok = false;
+                break;
+            }
+            auto ci = a.coeffs.find(iv);
+            if (ci != a.coeffs.end())
+                c += ci->second * stride;
+            stride *= dims[d];
+        }
+        if (ok && c != 0)
+            coeffs.push_back(c);
+    }
+
+    /** Collect iv coefficients of all affine accesses in a subtree. */
+    void
+    collect_coeffs_expr(const Expr &e, const std::string &iv,
+                        std::vector<int64_t> &coeffs)
+    {
+        if (e.kind == ExprKind::kArray)
+            access_coeff(e.name, e.kids, iv, coeffs);
+        for (const ExprPtr &k : e.kids)
+            collect_coeffs_expr(*k, iv, coeffs);
+    }
+    void
+    collect_coeffs(const std::vector<StmtPtr> &stmts,
+                   const std::string &iv, std::vector<int64_t> &coeffs)
+    {
+        for (const StmtPtr &s : stmts) {
+            if (s->expr)
+                collect_coeffs_expr(*s->expr, iv, coeffs);
+            if (s->bound)
+                collect_coeffs_expr(*s->bound, iv, coeffs);
+            if (s->kind == StmtKind::kArrayAssign)
+                access_coeff(s->name, s->indices, iv, coeffs);
+            for (const ExprPtr &i : s->indices)
+                collect_coeffs_expr(*i, iv, coeffs);
+            collect_coeffs(s->body, iv, coeffs);
+            collect_coeffs(s->else_body, iv, coeffs);
+        }
+    }
+
+    void
+    transform_for(StmtPtr loop, std::vector<StmtPtr> &out)
+    {
+        const std::string &iv = loop->name;
+        if (!opts_.enable || assigns_var(loop->body, iv)) {
+            out.push_back(std::move(loop));
+            return;
+        }
+        auto start = const_eval(*loop->expr, consts_);
+        auto bound = const_eval(*loop->bound, consts_);
+        if (!start || !bound) {
+            out.push_back(std::move(loop));
+            return;
+        }
+        int64_t s = *start, b = *bound, st = loop->step;
+        int64_t trip = 0;
+        if (loop->cmp == "<")
+            trip = st > 0 ? (b - s + st - 1) / st : -1;
+        else if (loop->cmp == "<=")
+            trip = st > 0 ? (b - s + st) / st : -1;
+        else if (loop->cmp == ">")
+            trip = st < 0 ? (s - b - st - 1) / (-st) : -1;
+        else if (loop->cmp == ">=")
+            trip = st < 0 ? (s - b - st) / (-st) : -1;
+        if (trip < 0) {
+            out.push_back(std::move(loop));
+            return;
+        }
+        if (trip == 0) {
+            // Loop never runs; iv still gets its initial value.
+            auto as = std::make_unique<Stmt>();
+            as->kind = StmtKind::kAssign;
+            as->name = iv;
+            as->expr = make_int_lit(static_cast<int32_t>(s));
+            out.push_back(std::move(as));
+            return;
+        }
+
+        const int64_t n = opts_.n_tiles;
+        std::vector<int64_t> coeffs;
+        collect_coeffs(loop->body, iv, coeffs);
+        int64_t u0 = 1;
+        for (int64_t c : coeffs) {
+            int64_t d = n / gcd64(c * st, n);
+            u0 = lcm64(u0, d, n);
+        }
+
+        int64_t weight = 0;
+        for (const StmtPtr &bs : loop->body)
+            weight += stmt_weight(*bs);
+        weight = weight > 0 ? weight : 1;
+
+        bool peel = false;
+        if (u0 >= trip) {
+            // Partial unrolling cannot reach the static reference
+            // property; peeling (exact indices) can.
+            peel = (u0 > 1 && trip * weight <= opts_.forced_peel_limit) ||
+                   trip * weight <= opts_.small_peel_limit;
+        } else {
+            peel = trip * weight <= opts_.small_peel_limit;
+        }
+
+        if (peel) {
+            stats.loops_peeled++;
+            for (int64_t t = 0; t < trip; t++) {
+                int64_t val = s + t * st;
+                for (const StmtPtr &bs : loop->body)
+                    out.push_back(subst_stmt(*bs, iv, 0, true, val));
+            }
+            auto as = std::make_unique<Stmt>();
+            as->kind = StmtKind::kAssign;
+            as->name = iv;
+            as->expr = make_int_lit(static_cast<int32_t>(s + trip * st));
+            out.push_back(std::move(as));
+            return;
+        }
+
+        int64_t u = u0;
+        // Partial unrolling duplicates the (already transformed) body
+        // u times; allow more head-room than peeling since the static
+        // reference property is otherwise lost for every access.
+        if (u <= 1 || u > trip ||
+            u * weight > 4 * opts_.forced_peel_limit) {
+            // Keep the loop rolled; annotate the trivial congruence
+            // iv == s (mod st) so stride-aligned accesses still
+            // staticize when st itself covers the interleaving.
+            loop->iv_modulus = st < 0 ? -st : st;
+            loop->iv_residue = floor_mod(s, loop->iv_modulus == 0
+                                                ? 1
+                                                : loop->iv_modulus);
+            out.push_back(std::move(loop));
+            return;
+        }
+
+        stats.loops_unrolled++;
+        int64_t t_main = trip / u;
+        int64_t t_rem = trip % u;
+
+        auto main_loop = std::make_unique<Stmt>();
+        main_loop->kind = StmtKind::kFor;
+        main_loop->name = iv;
+        main_loop->expr = make_int_lit(static_cast<int32_t>(s));
+        main_loop->cmp = st > 0 ? "<" : ">";
+        main_loop->bound =
+            make_int_lit(static_cast<int32_t>(s + t_main * u * st));
+        main_loop->step = u * st;
+        main_loop->iv_modulus = std::abs(u * st);
+        main_loop->iv_residue = floor_mod(s, main_loop->iv_modulus);
+        for (int64_t k = 0; k < u; k++)
+            for (const StmtPtr &bs : loop->body)
+                main_loop->body.push_back(
+                    subst_stmt(*bs, iv, k * st, false, 0));
+        if (t_main > 0)
+            out.push_back(std::move(main_loop));
+
+        for (int64_t t = t_main * u; t < trip; t++) {
+            int64_t val = s + t * st;
+            for (const StmtPtr &bs : loop->body)
+                out.push_back(subst_stmt(*bs, iv, 0, true, val));
+        }
+        (void)t_rem;
+
+        auto as = std::make_unique<Stmt>();
+        as->kind = StmtKind::kAssign;
+        as->name = iv;
+        as->expr = make_int_lit(static_cast<int32_t>(s + trip * st));
+        out.push_back(std::move(as));
+    }
+};
+
+} // namespace
+
+int64_t
+stmt_weight(const Stmt &s)
+{
+    int64_t w = 1;
+    if (s.expr)
+        w += expr_weight(*s.expr);
+    if (s.bound)
+        w += expr_weight(*s.bound);
+    for (const ExprPtr &i : s.indices)
+        w += expr_weight(*i);
+    for (const StmtPtr &b : s.body)
+        w += stmt_weight(*b);
+    for (const StmtPtr &b : s.else_body)
+        w += stmt_weight(*b);
+    return w;
+}
+
+UnrollStats
+unroll_program(Program &prog, const UnrollOptions &opts)
+{
+    check(opts.n_tiles >= 1, "unroll: bad tile count");
+
+    // Build the constant environment: scalars with constant
+    // initializers that are never reassigned.
+    std::unordered_set<std::string> assigned;
+    collect_assigned(prog.stmts, assigned);
+    ConstEnv consts;
+    for (const StmtPtr &s : prog.stmts) {
+        if (s->kind == StmtKind::kDeclScalar && s->expr &&
+            !assigned.count(s->name) && s->type == Type::kI32) {
+            auto v = const_eval(*s->expr, consts);
+            if (v)
+                consts[s->name] = *v;
+        }
+    }
+
+    std::unordered_map<std::string, std::vector<int64_t>> dims;
+    for (const StmtPtr &s : prog.stmts)
+        if (s->kind == StmtKind::kDeclArray)
+            dims[s->name] = s->dims;
+
+    Unroller u(opts, dims, consts);
+    u.run(prog.stmts);
+    return u.stats;
+}
+
+} // namespace raw

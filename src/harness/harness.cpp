@@ -1,0 +1,78 @@
+#include "harness/harness.hpp"
+
+#include <sstream>
+
+#include "support/error.hpp"
+
+namespace raw {
+
+namespace {
+
+RunResult
+simulate(CompileOutput out, const std::string &check_array,
+         const FaultConfig &faults)
+{
+    RunResult r;
+    r.stats = out.stats;
+    Simulator sim(out.program, faults);
+    r.sim = sim.run();
+    r.cycles = r.sim.cycles;
+    if (!check_array.empty() &&
+        out.program.find_array(check_array) >= 0)
+        r.check_words = sim.read_array(check_array);
+    r.prints = r.sim.print_text();
+    return r;
+}
+
+} // namespace
+
+RunResult
+run_rawcc(const std::string &source, const MachineConfig &machine,
+          const std::string &check_array, const CompilerOptions &opts,
+          const FaultConfig &faults)
+{
+    return simulate(compile_source(source, machine, opts), check_array,
+                    faults);
+}
+
+RunResult
+run_baseline(const std::string &source, const std::string &check_array,
+             const FaultConfig &faults)
+{
+    return simulate(compile_baseline(source), check_array, faults);
+}
+
+double
+verified_speedup(const BenchmarkProgram &prog,
+                 const MachineConfig &machine,
+                 const CompilerOptions &opts, const FaultConfig &faults)
+{
+    RunResult base = run_baseline(prog.source, prog.check_array);
+    RunResult par =
+        run_rawcc(prog.source, machine, prog.check_array, opts, faults);
+    if (base.check_words != par.check_words) {
+        std::ostringstream os;
+        os << prog.name << " on " << machine.name()
+           << ": result mismatch in array '" << prog.check_array
+           << "'";
+        for (size_t i = 0;
+             i < base.check_words.size() && i < par.check_words.size();
+             i++) {
+            if (base.check_words[i] != par.check_words[i]) {
+                os << " (first at index " << i << ": base 0x"
+                   << std::hex << base.check_words[i] << " vs 0x"
+                   << par.check_words[i] << ")";
+                break;
+            }
+        }
+        fatal(os.str());
+    }
+    if (base.prints != par.prints)
+        fatal(prog.name + " on " + machine.name() +
+              ": print trace mismatch:\n--- baseline\n" + base.prints +
+              "--- rawcc\n" + par.prints);
+    return static_cast<double>(base.cycles) /
+           static_cast<double>(par.cycles);
+}
+
+} // namespace raw

@@ -1,0 +1,57 @@
+#ifndef RAW_HARNESS_HARNESS_HPP
+#define RAW_HARNESS_HARNESS_HPP
+
+/**
+ * @file
+ * Experiment harness shared by tests, examples and benches: compile
+ * and simulate a program under RAWCC or the sequential baseline,
+ * verify bit-exact equivalence of results, and compute speedups
+ * (Section 6 methodology: RAWCC cycles vs. Machsuif-style sequential
+ * cycles on one tile).
+ */
+
+#include <string>
+
+#include "baseline/baseline.hpp"
+#include "programs/programs.hpp"
+#include "rawcc/compiler.hpp"
+#include "sim/simulator.hpp"
+
+namespace raw {
+
+/** One compile+simulate outcome. */
+struct RunResult
+{
+    int64_t cycles = 0;
+    SimResult sim;
+    CompileStats stats;
+    /** Named-array contents for verification. */
+    std::vector<uint32_t> check_words;
+    std::string prints;
+};
+
+/** Compile with RAWCC for @p machine and simulate. */
+RunResult run_rawcc(const std::string &source,
+                    const MachineConfig &machine,
+                    const std::string &check_array = "",
+                    const CompilerOptions &opts = {},
+                    const FaultConfig &faults = {});
+
+/** Compile sequentially (one tile) and simulate. */
+RunResult run_baseline(const std::string &source,
+                       const std::string &check_array = "",
+                       const FaultConfig &faults = {});
+
+/**
+ * Run @p prog under the baseline and under RAWCC on @p machine and
+ * require bit-identical results (check array and print trace).
+ * Returns the speedup; throws FatalError on mismatch.
+ */
+double verified_speedup(const BenchmarkProgram &prog,
+                        const MachineConfig &machine,
+                        const CompilerOptions &opts = {},
+                        const FaultConfig &faults = {});
+
+} // namespace raw
+
+#endif // RAW_HARNESS_HARNESS_HPP

@@ -1,0 +1,100 @@
+#include "ir/builder.hpp"
+
+#include "support/error.hpp"
+
+namespace raw {
+
+void
+IRBuilder::append(const Instr &in)
+{
+    check(block_ >= 0 && block_ < static_cast<int>(fn_.blocks.size()),
+          "IRBuilder: no current block");
+    fn_.blocks[block_].instrs.push_back(in);
+}
+
+ValueId
+IRBuilder::const_int(int32_t v)
+{
+    ValueId d = fn_.new_value(Type::kI32);
+    append(Instr::make_const_int(d, v));
+    return d;
+}
+
+ValueId
+IRBuilder::const_float(float v)
+{
+    ValueId d = fn_.new_value(Type::kF32);
+    append(Instr::make_const_float(d, v));
+    return d;
+}
+
+ValueId
+IRBuilder::emit(Op op, Type t, ValueId a, ValueId b)
+{
+    ValueId d = fn_.new_value(t);
+    append(Instr::make(op, t, d, a, b));
+    return d;
+}
+
+void
+IRBuilder::move_to(ValueId dst, ValueId src)
+{
+    Instr in = Instr::make(Op::kMove, fn_.values[dst].type, dst, src);
+    append(in);
+}
+
+ValueId
+IRBuilder::load(int array, ValueId idx)
+{
+    Type t = fn_.arrays[array].type;
+    ValueId d = fn_.new_value(t);
+    Instr in = Instr::make(Op::kLoad, t, d, idx);
+    in.array = array;
+    append(in);
+    return d;
+}
+
+void
+IRBuilder::store(int array, ValueId idx, ValueId v)
+{
+    Instr in = Instr::make(Op::kStore, fn_.arrays[array].type, kNoValue,
+                           idx, v);
+    in.array = array;
+    append(in);
+}
+
+void
+IRBuilder::print(ValueId v)
+{
+    Instr in = Instr::make(Op::kPrint, fn_.values[v].type, kNoValue, v);
+    append(in);
+}
+
+void
+IRBuilder::jump(int target)
+{
+    Instr in;
+    in.op = Op::kJump;
+    in.target[0] = target;
+    append(in);
+}
+
+void
+IRBuilder::branch(ValueId cond, int if_true, int if_false)
+{
+    Instr in;
+    in.op = Op::kBranch;
+    in.src[0] = cond;
+    in.target = {if_true, if_false};
+    append(in);
+}
+
+void
+IRBuilder::halt()
+{
+    Instr in;
+    in.op = Op::kHalt;
+    append(in);
+}
+
+} // namespace raw

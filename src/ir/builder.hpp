@@ -1,0 +1,57 @@
+#ifndef RAW_IR_BUILDER_HPP
+#define RAW_IR_BUILDER_HPP
+
+/**
+ * @file
+ * Convenience builder for constructing IR, used by the frontend's
+ * lowering pass and by unit tests that synthesize programs directly.
+ */
+
+#include <string>
+
+#include "ir/function.hpp"
+
+namespace raw {
+
+/** Appends instructions to a current block of a Function. */
+class IRBuilder
+{
+  public:
+    explicit IRBuilder(Function &fn) : fn_(fn) {}
+
+    /** Set the block subsequent instructions are appended to. */
+    void set_block(int block_id) { block_ = block_id; }
+    int block() const { return block_; }
+
+    /** Append a raw instruction to the current block. */
+    void append(const Instr &in);
+
+    /** dst = integer constant. */
+    ValueId const_int(int32_t v);
+    /** dst = float constant. */
+    ValueId const_float(float v);
+    /** dst = unary/binary op over @p a (and @p b). */
+    ValueId emit(Op op, Type t, ValueId a, ValueId b = kNoValue);
+    /** Write @p src into variable/temp @p dst (typed move). */
+    void move_to(ValueId dst, ValueId src);
+    /** dst = load array[idx]. */
+    ValueId load(int array, ValueId idx);
+    /** store array[idx] = v. */
+    void store(int array, ValueId idx, ValueId v);
+    /** print v. */
+    void print(ValueId v);
+    /** Terminators. */
+    void jump(int target);
+    void branch(ValueId cond, int if_true, int if_false);
+    void halt();
+
+    Function &fn() { return fn_; }
+
+  private:
+    Function &fn_;
+    int block_ = 0;
+};
+
+} // namespace raw
+
+#endif // RAW_IR_BUILDER_HPP

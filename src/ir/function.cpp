@@ -1,0 +1,85 @@
+#include "ir/function.hpp"
+
+#include "support/error.hpp"
+
+namespace raw {
+
+int64_t
+ArrayInfo::size() const
+{
+    int64_t n = 1;
+    for (int64_t d : dims)
+        n *= d;
+    return n;
+}
+
+std::vector<int>
+Block::successors() const
+{
+    check(!instrs.empty() && instrs.back().is_terminator(),
+          "block has no terminator");
+    const Instr &t = instrs.back();
+    switch (t.op) {
+      case Op::kJump:
+        return {t.target[0]};
+      case Op::kBranch:
+        return {t.target[0], t.target[1]};
+      default:
+        return {};
+    }
+}
+
+ValueId
+Function::new_value(Type t, const std::string &name, bool is_var)
+{
+    values.push_back({t, name, is_var});
+    return static_cast<ValueId>(values.size() - 1);
+}
+
+int
+Function::new_array(const std::string &name, Type t,
+                    std::vector<int64_t> dims)
+{
+    arrays.push_back({name, t, std::move(dims)});
+    return static_cast<int>(arrays.size() - 1);
+}
+
+int
+Function::new_block(const std::string &name)
+{
+    Block b;
+    b.name = name.empty() ? "bb" + std::to_string(blocks.size()) : name;
+    blocks.push_back(std::move(b));
+    return static_cast<int>(blocks.size() - 1);
+}
+
+std::vector<ValueId>
+Function::var_ids() const
+{
+    std::vector<ValueId> out;
+    for (size_t i = 0; i < values.size(); i++)
+        if (values[i].is_var)
+            out.push_back(static_cast<ValueId>(i));
+    return out;
+}
+
+std::vector<std::vector<int>>
+Function::predecessors() const
+{
+    std::vector<std::vector<int>> preds(blocks.size());
+    for (size_t b = 0; b < blocks.size(); b++)
+        for (int s : blocks[b].successors())
+            preds[s].push_back(static_cast<int>(b));
+    return preds;
+}
+
+size_t
+Function::num_instrs() const
+{
+    size_t n = 0;
+    for (const Block &b : blocks)
+        n += b.instrs.size();
+    return n;
+}
+
+} // namespace raw

@@ -1,0 +1,38 @@
+#include "ir/instr.hpp"
+
+namespace raw {
+
+Instr
+Instr::make_const_int(ValueId dst, int32_t v)
+{
+    Instr i;
+    i.op = Op::kConst;
+    i.type = Type::kI32;
+    i.dst = dst;
+    i.imm_bits = int_bits(v);
+    return i;
+}
+
+Instr
+Instr::make_const_float(ValueId dst, float v)
+{
+    Instr i;
+    i.op = Op::kConst;
+    i.type = Type::kF32;
+    i.dst = dst;
+    i.imm_bits = float_bits(v);
+    return i;
+}
+
+Instr
+Instr::make(Op op, Type t, ValueId dst, ValueId a, ValueId b)
+{
+    Instr i;
+    i.op = op;
+    i.type = t;
+    i.dst = dst;
+    i.src = {a, b};
+    return i;
+}
+
+} // namespace raw

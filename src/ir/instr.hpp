@@ -1,0 +1,60 @@
+#ifndef RAW_IR_INSTR_HPP
+#define RAW_IR_INSTR_HPP
+
+/**
+ * @file
+ * Three-operand IR instruction.
+ */
+
+#include <array>
+#include <cstdint>
+
+#include "ir/opcode.hpp"
+#include "ir/type.hpp"
+
+namespace raw {
+
+/** Index of a value (virtual register) in its Function's value table. */
+using ValueId = int32_t;
+
+/** Sentinel: no value. */
+constexpr ValueId kNoValue = -1;
+
+/**
+ * A single three-operand instruction.
+ *
+ * Memory instructions address a named array with a flat element index
+ * (src[0]); dimension arithmetic is lowered to explicit IR arithmetic
+ * by the frontend, so indices are ordinary values the congruence
+ * analysis can reason about.
+ */
+struct Instr
+{
+    Op op = Op::kHalt;
+    /** Result type (also the operand type for compares/stores). */
+    Type type = Type::kI32;
+    ValueId dst = kNoValue;
+    std::array<ValueId, 2> src = {kNoValue, kNoValue};
+    /** kConst payload: i32 or f32 bit pattern, per `type`. */
+    uint32_t imm_bits = 0;
+    /** Array symbol index for memory ops, -1 otherwise. */
+    int32_t array = -1;
+    /** Terminator targets: [0] = jump/true target, [1] = false target. */
+    std::array<int32_t, 2> target = {-1, -1};
+
+    int num_srcs() const { return op_num_srcs(op); }
+    bool is_terminator() const { return op_is_terminator(op); }
+    bool has_dst() const { return op_has_dst(op); }
+
+    /** Build an integer-constant instruction. */
+    static Instr make_const_int(ValueId dst, int32_t v);
+    /** Build a float-constant instruction. */
+    static Instr make_const_float(ValueId dst, float v);
+    /** Build a unary/binary arithmetic instruction. */
+    static Instr make(Op op, Type t, ValueId dst, ValueId a,
+                      ValueId b = kNoValue);
+};
+
+} // namespace raw
+
+#endif // RAW_IR_INSTR_HPP

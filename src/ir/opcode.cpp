@@ -1,0 +1,204 @@
+#include "ir/opcode.hpp"
+
+namespace raw {
+
+int
+op_num_srcs(Op op)
+{
+    switch (op) {
+      case Op::kConst:
+      case Op::kJump:
+      case Op::kHalt:
+        return 0;
+      case Op::kMove:
+      case Op::kNeg:
+      case Op::kNot:
+      case Op::kFNeg:
+      case Op::kFSqrt:
+      case Op::kItoF:
+      case Op::kFtoI:
+      case Op::kLoad:
+      case Op::kDynLoad:
+      case Op::kSend:
+      case Op::kPrint:
+      case Op::kBranch:
+        return 1;
+      case Op::kRecv:
+        return 0;
+      default:
+        return 2;
+    }
+}
+
+bool
+op_is_terminator(Op op)
+{
+    return op == Op::kJump || op == Op::kBranch || op == Op::kHalt;
+}
+
+bool
+op_is_memory(Op op)
+{
+    return op == Op::kLoad || op == Op::kStore || op == Op::kDynLoad ||
+           op == Op::kDynStore;
+}
+
+bool
+op_has_dst(Op op)
+{
+    switch (op) {
+      case Op::kStore:
+      case Op::kDynStore:
+      case Op::kSend:
+      case Op::kPrint:
+      case Op::kJump:
+      case Op::kBranch:
+      case Op::kHalt:
+        return false;
+      default:
+        return true;
+    }
+}
+
+bool
+op_is_commutative(Op op)
+{
+    switch (op) {
+      case Op::kAdd:
+      case Op::kMul:
+      case Op::kAnd:
+      case Op::kOr:
+      case Op::kXor:
+      case Op::kFAdd:
+      case Op::kFMul:
+      case Op::kCmpEq:
+      case Op::kCmpNe:
+      case Op::kFCmpEq:
+      case Op::kFCmpNe:
+        return true;
+      default:
+        return false;
+    }
+}
+
+bool
+op_is_replicable(Op op)
+{
+    switch (op) {
+      case Op::kConst:
+      case Op::kMove:
+      case Op::kAdd:
+      case Op::kSub:
+      case Op::kAnd:
+      case Op::kOr:
+      case Op::kXor:
+      case Op::kShl:
+      case Op::kShr:
+      case Op::kNeg:
+      case Op::kNot:
+      case Op::kCmpEq:
+      case Op::kCmpNe:
+      case Op::kCmpLt:
+      case Op::kCmpLe:
+      case Op::kCmpGt:
+      case Op::kCmpGe:
+        return true;
+      default:
+        return false;
+    }
+}
+
+FuOp
+op_fu(Op op)
+{
+    switch (op) {
+      case Op::kMul:
+        return FuOp::kIntMul;
+      case Op::kDiv:
+      case Op::kRem:
+        return FuOp::kIntDiv;
+      case Op::kFAdd:
+      case Op::kFSub:
+      case Op::kFNeg:
+      case Op::kFCmpEq:
+      case Op::kFCmpNe:
+      case Op::kFCmpLt:
+      case Op::kFCmpLe:
+      case Op::kFCmpGt:
+      case Op::kFCmpGe:
+      case Op::kItoF:
+      case Op::kFtoI:
+        return FuOp::kFpAdd;
+      case Op::kFMul:
+        return FuOp::kFpMul;
+      case Op::kFDiv:
+      case Op::kFSqrt:
+        return FuOp::kFpDiv;
+      case Op::kLoad:
+      case Op::kDynLoad:
+        return FuOp::kLoad;
+      case Op::kStore:
+      case Op::kDynStore:
+        return FuOp::kStore;
+      case Op::kJump:
+      case Op::kBranch:
+      case Op::kHalt:
+        return FuOp::kBranch;
+      default:
+        return FuOp::kIntAdd;
+    }
+}
+
+const char *
+op_name(Op op)
+{
+    switch (op) {
+      case Op::kConst:    return "const";
+      case Op::kMove:     return "move";
+      case Op::kAdd:      return "add";
+      case Op::kSub:      return "sub";
+      case Op::kMul:      return "mul";
+      case Op::kDiv:      return "div";
+      case Op::kRem:      return "rem";
+      case Op::kAnd:      return "and";
+      case Op::kOr:       return "or";
+      case Op::kXor:      return "xor";
+      case Op::kShl:      return "shl";
+      case Op::kShr:      return "shr";
+      case Op::kNeg:      return "neg";
+      case Op::kNot:      return "not";
+      case Op::kFAdd:     return "fadd";
+      case Op::kFSub:     return "fsub";
+      case Op::kFMul:     return "fmul";
+      case Op::kFDiv:     return "fdiv";
+      case Op::kFNeg:     return "fneg";
+      case Op::kFSqrt:    return "fsqrt";
+      case Op::kCmpEq:    return "cmpeq";
+      case Op::kCmpNe:    return "cmpne";
+      case Op::kCmpLt:    return "cmplt";
+      case Op::kCmpLe:    return "cmple";
+      case Op::kCmpGt:    return "cmpgt";
+      case Op::kCmpGe:    return "cmpge";
+      case Op::kFCmpEq:   return "fcmpeq";
+      case Op::kFCmpNe:   return "fcmpne";
+      case Op::kFCmpLt:   return "fcmplt";
+      case Op::kFCmpLe:   return "fcmple";
+      case Op::kFCmpGt:   return "fcmpgt";
+      case Op::kFCmpGe:   return "fcmpge";
+      case Op::kItoF:     return "itof";
+      case Op::kFtoI:     return "ftoi";
+      case Op::kLoad:     return "load";
+      case Op::kStore:    return "store";
+      case Op::kDynLoad:  return "dynload";
+      case Op::kDynStore: return "dynstore";
+      case Op::kSend:     return "send";
+      case Op::kRecv:     return "recv";
+      case Op::kPrint:    return "print";
+      case Op::kJump:     return "jump";
+      case Op::kBranch:   return "branch";
+      case Op::kHalt:     return "halt";
+    }
+    return "?";
+}
+
+} // namespace raw

@@ -1,0 +1,92 @@
+#ifndef RAW_IR_OPCODE_HPP
+#define RAW_IR_OPCODE_HPP
+
+/**
+ * @file
+ * Opcodes of the three-operand RawCC IR (Section 3.3: "expressions in
+ * the source program are decomposed into instructions in three-operand
+ * form ... they correspond closely to the final machine instructions and
+ * their cost attributes can easily be estimated").
+ *
+ * The same opcode set is executed directly by the tile simulator, so
+ * the cost model the scheduler uses (Table 1 latencies via FuOp) is by
+ * construction the cost model of the target.
+ */
+
+#include <cstdint>
+
+#include "machine/machine.hpp"
+
+namespace raw {
+
+/** IR / machine opcodes. */
+enum class Op : uint8_t {
+    // Value producers.
+    kConst,   ///< dst = imm (payload in Instr::imm_bits)
+    kMove,    ///< dst = src0
+
+    // Integer arithmetic / logic.
+    kAdd, kSub, kMul, kDiv, kRem,
+    kAnd, kOr, kXor, kShl, kShr,
+    kNeg, kNot,
+
+    // Single-precision floating point (operates on GPR words).
+    kFAdd, kFSub, kFMul, kFDiv, kFNeg, kFSqrt,
+
+    // Comparisons produce i32 0/1.
+    kCmpEq, kCmpNe, kCmpLt, kCmpLe, kCmpGt, kCmpGe,
+    kFCmpEq, kFCmpNe, kFCmpLt, kFCmpLe, kFCmpGt, kFCmpGe,
+
+    // Conversions.
+    kItoF, kFtoI,
+
+    // Memory.  Addresses are flat element indices into `array`.
+    kLoad,     ///< dst = array[src0]        (home tile statically known)
+    kStore,    ///< array[src0] = src1
+    kDynLoad,  ///< dst = array[src0]  via the dynamic network
+    kDynStore, ///< array[src0] = src1 via the dynamic network
+
+    // Communication (inserted by the communication code generator).
+    kSend,     ///< write src0 to the processor->switch output port
+    kRecv,     ///< dst = read from the switch->processor input port
+
+    // Observable output: appends (type, word) to the simulator trace.
+    kPrint,    ///< print src0
+
+    // Terminators.
+    kJump,     ///< goto target[0]
+    kBranch,   ///< if (src0 != 0) goto target[0] else goto target[1]
+    kHalt,     ///< end of program
+};
+
+/** Number of source operands the opcode reads (0..2). */
+int op_num_srcs(Op op);
+
+/** True for kJump/kBranch/kHalt. */
+bool op_is_terminator(Op op);
+
+/** True for the four memory opcodes. */
+bool op_is_memory(Op op);
+
+/** True if the opcode produces a destination value. */
+bool op_has_dst(Op op);
+
+/** True for the commutative binary arithmetic opcodes. */
+bool op_is_commutative(Op op);
+
+/**
+ * True if the opcode may be control-replicated on every tile and
+ * switch (cheap integer ops with no side effects; Section 3.2 control
+ * orchestration).
+ */
+bool op_is_replicable(Op op);
+
+/** Functional-unit class for latency lookup (Table 1). */
+FuOp op_fu(Op op);
+
+/** Mnemonic, e.g. "add", "fmul", "load". */
+const char *op_name(Op op);
+
+} // namespace raw
+
+#endif // RAW_IR_OPCODE_HPP

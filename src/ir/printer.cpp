@@ -1,0 +1,106 @@
+#include "ir/printer.hpp"
+
+#include <sstream>
+
+namespace raw {
+
+namespace {
+
+std::string
+value_name(const Function &fn, ValueId v)
+{
+    if (v == kNoValue)
+        return "_";
+    const ValueInfo &vi = fn.values[v];
+    std::ostringstream os;
+    if (!vi.name.empty())
+        os << vi.name;
+    else
+        os << "v" << v;
+    return os.str();
+}
+
+} // namespace
+
+std::string
+print_instr(const Function &fn, const Instr &in)
+{
+    std::ostringstream os;
+    switch (in.op) {
+      case Op::kConst:
+        os << value_name(fn, in.dst) << " = ";
+        if (in.type == Type::kI32)
+            os << bits_int(in.imm_bits);
+        else
+            os << bits_float(in.imm_bits) << "f";
+        return os.str();
+      case Op::kLoad:
+      case Op::kDynLoad:
+        os << value_name(fn, in.dst) << " = " << op_name(in.op) << " "
+           << fn.arrays[in.array].name << "[" << value_name(fn, in.src[0])
+           << "]";
+        return os.str();
+      case Op::kStore:
+      case Op::kDynStore:
+        os << op_name(in.op) << " " << fn.arrays[in.array].name << "["
+           << value_name(fn, in.src[0]) << "] = "
+           << value_name(fn, in.src[1]);
+        return os.str();
+      case Op::kJump:
+        os << "jump " << fn.blocks[in.target[0]].name;
+        return os.str();
+      case Op::kBranch:
+        os << "branch " << value_name(fn, in.src[0]) << ", "
+           << fn.blocks[in.target[0]].name << ", "
+           << fn.blocks[in.target[1]].name;
+        return os.str();
+      case Op::kHalt:
+        return "halt";
+      default:
+        break;
+    }
+    if (in.has_dst())
+        os << value_name(fn, in.dst) << " = ";
+    os << op_name(in.op);
+    for (int i = 0; i < in.num_srcs(); i++)
+        os << (i == 0 ? " " : ", ") << value_name(fn, in.src[i]);
+    return os.str();
+}
+
+std::string
+print_block(const Function &fn, int block_id)
+{
+    const Block &b = fn.blocks[block_id];
+    std::ostringstream os;
+    os << b.name << ":";
+    for (const EntryFact &f : b.entry_facts) {
+        os << "  ; " << value_name(fn, f.var);
+        if (f.cong.is_exact())
+            os << " == " << f.cong.residue;
+        else if (!f.cong.is_top())
+            os << " == " << f.cong.residue << " (mod " << f.cong.modulus
+               << ")";
+    }
+    os << "\n";
+    for (const Instr &in : b.instrs)
+        os << "    " << print_instr(fn, in) << "\n";
+    return os.str();
+}
+
+std::string
+print_function(const Function &fn)
+{
+    std::ostringstream os;
+    os << "function " << fn.name << "\n";
+    for (const ArrayInfo &a : fn.arrays) {
+        os << "  array " << type_name(a.type) << " " << a.name;
+        for (int64_t d : a.dims)
+            os << "[" << d << "]";
+        os << "\n";
+    }
+    for (size_t b = 0; b < fn.blocks.size(); b++)
+        os << print_block(fn, static_cast<int>(b));
+    return os.str();
+}
+
+} // namespace raw

@@ -1,0 +1,26 @@
+#ifndef RAW_IR_PRINTER_HPP
+#define RAW_IR_PRINTER_HPP
+
+/**
+ * @file
+ * Text dump of IR functions (for examples, debugging and golden tests).
+ */
+
+#include <string>
+
+#include "ir/function.hpp"
+
+namespace raw {
+
+/** Render one instruction, e.g. "v7 = fadd v3, v5". */
+std::string print_instr(const Function &fn, const Instr &in);
+
+/** Render one block including its label and entry facts. */
+std::string print_block(const Function &fn, int block_id);
+
+/** Render the whole function. */
+std::string print_function(const Function &fn);
+
+} // namespace raw
+
+#endif // RAW_IR_PRINTER_HPP

@@ -1,0 +1,11 @@
+#include "ir/type.hpp"
+
+namespace raw {
+
+const char *
+type_name(Type t)
+{
+    return t == Type::kI32 ? "int" : "float";
+}
+
+} // namespace raw

@@ -1,0 +1,37 @@
+#ifndef RAW_IR_TYPE_HPP
+#define RAW_IR_TYPE_HPP
+
+/**
+ * @file
+ * Scalar types of the RawCC intermediate representation.
+ *
+ * The Raw prototype is a 32-bit word machine with no FPRs: floating
+ * point values live in GPRs (Section 3.1).  All IR values are therefore
+ * 32-bit words, interpreted as either two's-complement integers or
+ * IEEE-754 single-precision floats.  The paper converts all Spec92
+ * doubles to single precision for the same reason.
+ */
+
+#include <bit>
+#include <cstdint>
+
+namespace raw {
+
+/** Scalar value type: 32-bit int or 32-bit float. */
+enum class Type : uint8_t { kI32 = 0, kF32 = 1 };
+
+/** "int" / "float". */
+const char *type_name(Type t);
+
+/** Reinterpret a float as its 32-bit word pattern. */
+inline uint32_t float_bits(float f) { return std::bit_cast<uint32_t>(f); }
+/** Reinterpret a 32-bit word pattern as a float. */
+inline float bits_float(uint32_t b) { return std::bit_cast<float>(b); }
+/** Reinterpret an int as its 32-bit word pattern. */
+inline uint32_t int_bits(int32_t i) { return std::bit_cast<uint32_t>(i); }
+/** Reinterpret a 32-bit word pattern as an int. */
+inline int32_t bits_int(uint32_t b) { return std::bit_cast<int32_t>(b); }
+
+} // namespace raw
+
+#endif // RAW_IR_TYPE_HPP

@@ -1,0 +1,155 @@
+#include "ir/verifier.hpp"
+
+#include <sstream>
+#include <vector>
+
+#include "ir/printer.hpp"
+#include "support/error.hpp"
+
+namespace raw {
+
+namespace {
+
+bool
+op_is_float(Op op)
+{
+    switch (op) {
+      case Op::kFAdd:
+      case Op::kFSub:
+      case Op::kFMul:
+      case Op::kFDiv:
+      case Op::kFNeg:
+      case Op::kFSqrt:
+      case Op::kFtoI:
+      case Op::kFCmpEq:
+      case Op::kFCmpNe:
+      case Op::kFCmpLt:
+      case Op::kFCmpLe:
+      case Op::kFCmpGt:
+      case Op::kFCmpGe:
+        return true;
+      default:
+        return false;
+    }
+}
+
+bool
+op_is_int_arith(Op op)
+{
+    switch (op) {
+      case Op::kAdd:
+      case Op::kSub:
+      case Op::kMul:
+      case Op::kDiv:
+      case Op::kRem:
+      case Op::kAnd:
+      case Op::kOr:
+      case Op::kXor:
+      case Op::kShl:
+      case Op::kShr:
+      case Op::kNeg:
+      case Op::kNot:
+      case Op::kItoF:
+      case Op::kCmpEq:
+      case Op::kCmpNe:
+      case Op::kCmpLt:
+      case Op::kCmpLe:
+      case Op::kCmpGt:
+      case Op::kCmpGe:
+        return true;
+      default:
+        return false;
+    }
+}
+
+} // namespace
+
+std::string
+verify_function(const Function &fn)
+{
+    std::ostringstream err;
+    auto fail = [&](int b, const Instr *in, const std::string &msg) {
+        err << "block " << fn.blocks[b].name;
+        if (in)
+            err << " [" << print_instr(fn, *in) << "]";
+        err << ": " << msg;
+        return err.str();
+    };
+
+    if (fn.blocks.empty())
+        return "function has no blocks";
+
+    const int n_blocks = static_cast<int>(fn.blocks.size());
+    const ValueId n_values = static_cast<ValueId>(fn.values.size());
+    const int n_arrays = static_cast<int>(fn.arrays.size());
+
+    for (int b = 0; b < n_blocks; b++) {
+        const Block &blk = fn.blocks[b];
+        if (blk.instrs.empty())
+            return fail(b, nullptr, "empty block");
+        if (!blk.instrs.back().is_terminator())
+            return fail(b, nullptr, "does not end in a terminator");
+
+        std::vector<bool> defined(fn.values.size(), false);
+
+        for (size_t k = 0; k < blk.instrs.size(); k++) {
+            const Instr &in = blk.instrs[k];
+            if (in.is_terminator() && k + 1 != blk.instrs.size())
+                return fail(b, &in, "terminator not at end of block");
+
+            for (int s = 0; s < in.num_srcs(); s++) {
+                ValueId v = in.src[s];
+                if (v < 0 || v >= n_values)
+                    return fail(b, &in, "bad source value id");
+                if (!fn.values[v].is_var && !defined[v])
+                    return fail(b, &in,
+                                "temporary used before in-block def");
+            }
+            if (in.has_dst()) {
+                if (in.dst < 0 || in.dst >= n_values)
+                    return fail(b, &in, "bad dest value id");
+                defined[in.dst] = true;
+            }
+            if (op_is_memory(in.op)) {
+                if (in.array < 0 || in.array >= n_arrays)
+                    return fail(b, &in, "bad array id");
+                if (fn.values[in.src[0]].type != Type::kI32)
+                    return fail(b, &in, "non-integer index");
+                Type elem = fn.arrays[in.array].type;
+                if (in.op == Op::kStore || in.op == Op::kDynStore) {
+                    if (fn.values[in.src[1]].type != elem)
+                        return fail(b, &in, "store value type mismatch");
+                } else if (fn.values[in.dst].type != elem) {
+                    return fail(b, &in, "load dest type mismatch");
+                }
+            }
+            if (op_is_float(in.op)) {
+                for (int s = 0; s < in.num_srcs(); s++)
+                    if (fn.values[in.src[s]].type != Type::kF32)
+                        return fail(b, &in, "float op on int operand");
+            }
+            if (op_is_int_arith(in.op)) {
+                for (int s = 0; s < in.num_srcs(); s++)
+                    if (fn.values[in.src[s]].type != Type::kI32)
+                        return fail(b, &in, "int op on float operand");
+            }
+            if (in.op == Op::kJump || in.op == Op::kBranch) {
+                int n_targets = in.op == Op::kJump ? 1 : 2;
+                for (int t = 0; t < n_targets; t++)
+                    if (in.target[t] < 0 || in.target[t] >= n_blocks)
+                        return fail(b, &in, "bad branch target");
+            }
+        }
+    }
+    return "";
+}
+
+void
+verify_or_panic(const Function &fn, const std::string &phase)
+{
+    std::string e = verify_function(fn);
+    if (!e.empty())
+        panic("IR verification failed after " + phase + ": " + e);
+}
+
+} // namespace raw

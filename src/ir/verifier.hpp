@@ -1,0 +1,35 @@
+#ifndef RAW_IR_VERIFIER_HPP
+#define RAW_IR_VERIFIER_HPP
+
+/**
+ * @file
+ * Structural IR verifier, run between compiler phases in debug paths
+ * and heavily in tests.
+ */
+
+#include <string>
+
+#include "ir/function.hpp"
+
+namespace raw {
+
+/**
+ * Check structural well-formedness of @p fn:
+ *  - every block is non-empty and ends with exactly one terminator;
+ *  - branch/jump targets are valid block ids;
+ *  - operand and destination value ids are valid;
+ *  - non-variable temporaries are defined before use within their block;
+ *  - memory ops reference valid arrays and use i32 indices;
+ *  - operand types are consistent with the opcode.
+ *
+ * @return empty string if OK, otherwise a description of the first
+ * problem found.
+ */
+std::string verify_function(const Function &fn);
+
+/** Verify and panic with the message on failure. */
+void verify_or_panic(const Function &fn, const std::string &phase);
+
+} // namespace raw
+
+#endif // RAW_IR_VERIFIER_HPP

@@ -1,0 +1,58 @@
+#include "partition/partition.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+#include "support/error.hpp"
+
+namespace raw {
+
+Clustering
+merge_clusters(const TaskGraph &g, const Clustering &c,
+               const MachineConfig &machine)
+{
+    const int n_tiles = machine.n_tiles;
+    const int n = static_cast<int>(g.nodes().size());
+
+    Clustering out;
+    out.n_clusters = n_tiles;
+    out.pin_of.assign(n_tiles, -1);
+    out.cost_of.assign(n_tiles, 0);
+    out.cluster_of.assign(n, -1);
+
+    // Partition k is pre-bound to tile k whenever some cluster is
+    // pinned there; unpinned partitions are bound later by placement.
+    // We therefore merge pinned clusters by their pin, and free
+    // clusters by load balance (visit in decreasing size, merge into
+    // the least-loaded partition), per the paper.
+    std::vector<int> partition_of_cluster(c.n_clusters, -1);
+    for (int cl = 0; cl < c.n_clusters; cl++)
+        if (c.pin_of[cl] >= 0) {
+            int p = c.pin_of[cl];
+            partition_of_cluster[cl] = p;
+            out.pin_of[p] = p;
+            out.cost_of[p] += c.cost_of[cl];
+        }
+
+    std::vector<int> free_clusters;
+    for (int cl = 0; cl < c.n_clusters; cl++)
+        if (partition_of_cluster[cl] < 0)
+            free_clusters.push_back(cl);
+    std::sort(free_clusters.begin(), free_clusters.end(),
+              [&](int a, int b) { return c.cost_of[a] > c.cost_of[b]; });
+
+    for (int cl : free_clusters) {
+        int best = 0;
+        for (int p = 1; p < n_tiles; p++)
+            if (out.cost_of[p] < out.cost_of[best])
+                best = p;
+        partition_of_cluster[cl] = best;
+        out.cost_of[best] += c.cost_of[cl];
+    }
+
+    for (int i = 0; i < n; i++)
+        out.cluster_of[i] = partition_of_cluster[c.cluster_of[i]];
+    return out;
+}
+
+} // namespace raw

@@ -1,0 +1,100 @@
+#ifndef RAW_PARTITION_PARTITION_HPP
+#define RAW_PARTITION_PARTITION_HPP
+
+/**
+ * @file
+ * Instruction partitioner (Section 4.1): clustering, merging,
+ * placement.
+ *
+ *  - *Clustering* groups instructions whose parallelism is too fine to
+ *    pay for communication, using the Dominant Sequence Clustering
+ *    heuristic of Yang & Gerasoulis under an idealized fully-connected
+ *    interconnect with uniform latency.
+ *  - *Merging* reduces the clusters to N partitions using the load
+ *    balance heuristic: visit clusters in decreasing size and merge
+ *    each into the least-loaded partition.
+ *  - *Placement* drops the idealized-interconnect assumption and maps
+ *    partitions onto physical mesh tiles, greedily swapping pairs to
+ *    reduce total communication hops (optionally refined by simulated
+ *    annealing).
+ *
+ * Nodes pinned to a tile (static memory references, variable homes)
+ * constrain all three phases.
+ */
+
+#include <vector>
+
+#include "analysis/taskgraph.hpp"
+#include "machine/machine.hpp"
+
+namespace raw {
+
+/** Clustering algorithm selection (for ablation benches). */
+enum class ClusterMode : uint8_t {
+    kDSC,        ///< Dominant Sequence Clustering (the paper's choice)
+    kUnitNodes,  ///< no clustering: every node its own cluster
+};
+
+/** Placement algorithm selection (for ablation benches). */
+enum class PlaceMode : uint8_t {
+    kGreedySwap, ///< greedy pairwise improvement (the paper's choice)
+    kAnneal,     ///< simulated annealing refinement
+    kArbitrary,  ///< identity mapping, no optimization
+};
+
+/** Options for the partitioner. */
+struct PartitionOptions
+{
+    ClusterMode cluster_mode = ClusterMode::kDSC;
+    PlaceMode place_mode = PlaceMode::kGreedySwap;
+    /** RNG seed for annealing / tie-breaking. */
+    uint32_t seed = 1;
+};
+
+/** Intermediate result of the clustering phase. */
+struct Clustering
+{
+    /** Cluster id per node. */
+    std::vector<int> cluster_of;
+    /** Number of clusters. */
+    int n_clusters = 0;
+    /** Required tile per cluster (-1 if free). */
+    std::vector<int> pin_of;
+    /** Total computation cost per cluster. */
+    std::vector<int64_t> cost_of;
+};
+
+/** Final result: a tile for every task graph node. */
+struct Partition
+{
+    std::vector<int> tile_of;
+    /** Number of edges whose endpoints ended up on different tiles. */
+    int cross_edges = 0;
+};
+
+/** Phase 1: cluster @p g (uniform-latency model). */
+Clustering cluster_taskgraph(const TaskGraph &g,
+                             const MachineConfig &machine,
+                             const PartitionOptions &opts);
+
+/**
+ * Phase 2: merge clusters into at most @p machine.n_tiles partitions
+ * (load balance heuristic).  Returns a new Clustering whose ids are
+ * partition ids, with pins propagated.
+ */
+Clustering merge_clusters(const TaskGraph &g, const Clustering &c,
+                          const MachineConfig &machine);
+
+/** Phase 3: map partitions onto tiles and produce the final result. */
+Partition place_partitions(const TaskGraph &g, const Clustering &merged,
+                           const MachineConfig &machine,
+                           const PartitionOptions &opts);
+
+/** All three phases. */
+Partition partition_taskgraph(const TaskGraph &g,
+                              const MachineConfig &machine,
+                              const PartitionOptions &opts);
+
+} // namespace raw
+
+#endif // RAW_PARTITION_PARTITION_HPP

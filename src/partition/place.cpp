@@ -1,0 +1,163 @@
+#include "partition/partition.hpp"
+
+#include <algorithm>
+#include <numeric>
+#include <random>
+
+#include "support/error.hpp"
+
+namespace raw {
+
+namespace {
+
+/** Word traffic between each pair of partitions. */
+std::vector<std::vector<int>>
+traffic_matrix(const TaskGraph &g, const Clustering &merged, int n_tiles)
+{
+    std::vector<std::vector<int>> w(n_tiles,
+                                    std::vector<int>(n_tiles, 0));
+    for (const TGEdge &e : g.edges()) {
+        int a = merged.cluster_of[e.from];
+        int b = merged.cluster_of[e.to];
+        if (a != b) {
+            w[a][b]++;
+            w[b][a]++;
+        }
+    }
+    return w;
+}
+
+/** Total hop-weighted communication cost of an assignment. */
+int64_t
+assignment_cost(const std::vector<std::vector<int>> &w,
+                const std::vector<int> &tile_of_partition,
+                const MachineConfig &machine)
+{
+    int64_t cost = 0;
+    const int n = static_cast<int>(tile_of_partition.size());
+    for (int a = 0; a < n; a++)
+        for (int b = a + 1; b < n; b++)
+            cost += static_cast<int64_t>(w[a][b]) *
+                    machine.distance(tile_of_partition[a],
+                                     tile_of_partition[b]);
+    return cost;
+}
+
+} // namespace
+
+Partition
+place_partitions(const TaskGraph &g, const Clustering &merged,
+                 const MachineConfig &machine,
+                 const PartitionOptions &opts)
+{
+    const int n_tiles = machine.n_tiles;
+    check(merged.n_clusters == n_tiles,
+          "placement expects one partition per tile");
+
+    // Initial assignment: pinned partitions are fixed on their tiles;
+    // the rest take the remaining tiles in order.
+    std::vector<int> tile_of_partition(n_tiles, -1);
+    std::vector<bool> tile_used(n_tiles, false);
+    std::vector<int> movable;
+    for (int p = 0; p < n_tiles; p++)
+        if (merged.pin_of[p] >= 0) {
+            tile_of_partition[p] = merged.pin_of[p];
+            tile_used[merged.pin_of[p]] = true;
+        } else {
+            movable.push_back(p);
+        }
+    {
+        int t = 0;
+        for (int p : movable) {
+            while (tile_used[t])
+                t++;
+            tile_of_partition[p] = t;
+            tile_used[t] = true;
+        }
+    }
+
+    std::vector<std::vector<int>> w =
+        traffic_matrix(g, merged, n_tiles);
+
+    if (opts.place_mode != PlaceMode::kArbitrary &&
+        movable.size() > 1) {
+        int64_t cur = assignment_cost(w, tile_of_partition, machine);
+        if (opts.place_mode == PlaceMode::kGreedySwap) {
+            bool improved = true;
+            while (improved) {
+                improved = false;
+                for (size_t i = 0; i < movable.size(); i++) {
+                    for (size_t j = i + 1; j < movable.size(); j++) {
+                        std::swap(tile_of_partition[movable[i]],
+                                  tile_of_partition[movable[j]]);
+                        int64_t c2 = assignment_cost(
+                            w, tile_of_partition, machine);
+                        if (c2 < cur) {
+                            cur = c2;
+                            improved = true;
+                        } else {
+                            std::swap(tile_of_partition[movable[i]],
+                                      tile_of_partition[movable[j]]);
+                        }
+                    }
+                }
+            }
+        } else { // kAnneal
+            std::mt19937 rng(opts.seed);
+            std::uniform_int_distribution<int> pick(
+                0, static_cast<int>(movable.size()) - 1);
+            std::uniform_real_distribution<double> unit(0.0, 1.0);
+            double temp = 8.0;
+            std::vector<int> best = tile_of_partition;
+            int64_t best_cost = cur;
+            for (int iter = 0; iter < 4000; iter++) {
+                int i = movable[pick(rng)];
+                int j = movable[pick(rng)];
+                if (i == j)
+                    continue;
+                std::swap(tile_of_partition[i], tile_of_partition[j]);
+                int64_t c2 =
+                    assignment_cost(w, tile_of_partition, machine);
+                if (c2 <= cur ||
+                    unit(rng) < std::exp((cur - c2) / temp)) {
+                    cur = c2;
+                    if (cur < best_cost) {
+                        best_cost = cur;
+                        best = tile_of_partition;
+                    }
+                } else {
+                    std::swap(tile_of_partition[i],
+                              tile_of_partition[j]);
+                }
+                temp *= 0.999;
+            }
+            tile_of_partition = best;
+        }
+    }
+
+    Partition out;
+    out.tile_of.assign(g.nodes().size(), 0);
+    for (size_t i = 0; i < g.nodes().size(); i++)
+        out.tile_of[i] = tile_of_partition[merged.cluster_of[i]];
+    for (const TGEdge &e : g.edges())
+        if (out.tile_of[e.from] != out.tile_of[e.to])
+            out.cross_edges++;
+
+    // Pins must be honored exactly.
+    for (size_t i = 0; i < g.nodes().size(); i++)
+        check(g.nodes()[i].pin < 0 ||
+                  g.nodes()[i].pin == out.tile_of[i],
+              "placement violated a pin");
+    return out;
+}
+
+Partition
+partition_taskgraph(const TaskGraph &g, const MachineConfig &machine,
+                    const PartitionOptions &opts)
+{
+    Clustering c = cluster_taskgraph(g, machine, opts);
+    Clustering m = merge_clusters(g, c, machine);
+    return place_partitions(g, m, machine, opts);
+}
+
+} // namespace raw

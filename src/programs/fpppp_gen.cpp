@@ -1,0 +1,61 @@
+#include "programs/fpppp_gen.hpp"
+
+#include <sstream>
+
+namespace raw {
+
+namespace {
+
+uint64_t
+next_rand(uint64_t &s)
+{
+    s ^= s << 13;
+    s ^= s >> 7;
+    s ^= s << 17;
+    return s;
+}
+
+} // namespace
+
+std::string
+generate_fpppp(int n_vars, int n_stmts, uint64_t seed)
+{
+    std::ostringstream os;
+    uint64_t s = seed | 1;
+
+    os << "// fpppp-kernel: generated irregular straight-line FP "
+          "block\n";
+    // Seed the scalars from memory so the kernel is opaque to
+    // constant folding (the real kernel reads integral tables).
+    os << "float inp[" << n_vars << "];\n";
+    os << "int ii;\n";
+    os << "for (ii = 0; ii < " << n_vars << "; ii = ii + 1) {\n";
+    os << "  inp[ii] = 0.25 + (float)((ii * 7919) % 997) / 499.0;\n";
+    os << "}\n";
+    for (int i = 0; i < n_vars; i++)
+        os << "float v" << i << " = inp[" << i << "];\n";
+    for (int k = 0; k < n_stmts; k++) {
+        int x = static_cast<int>(next_rand(s) % n_vars);
+        int a = static_cast<int>(next_rand(s) % n_vars);
+        int b = static_cast<int>(next_rand(s) % n_vars);
+        double c1 = 0.3 + static_cast<double>(next_rand(s) % 400) /
+                              1000.0;
+        double c2 = 0.3 + static_cast<double>(next_rand(s) % 400) /
+                              1000.0;
+        if (k % 17 == 9) {
+            os << "v" << x << " = v" << a << " / (v" << b << " * v"
+               << b << " + 1.5) + v" << x << " * " << c2 << ";\n";
+        } else {
+            os << "v" << x << " = v" << a << " * " << c1 << " + v"
+               << b << " * " << c2 << ";\n";
+        }
+    }
+    // Checksum keeps every variable live to the end of the block.
+    os << "float cs = 0.0;\n";
+    for (int i = 0; i < n_vars; i++)
+        os << "cs = cs + v" << i << ";\n";
+    os << "print(cs);\n";
+    return os.str();
+}
+
+} // namespace raw

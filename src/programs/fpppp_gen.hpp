@@ -1,0 +1,34 @@
+#ifndef RAW_PROGRAMS_FPPPP_GEN_HPP
+#define RAW_PROGRAMS_FPPPP_GEN_HPP
+
+/**
+ * @file
+ * fpppp-kernel generator.
+ *
+ * The paper's fpppp-kernel is the 735-line straight-line basic block
+ * that accounts for half of Spec92 fpppp's run time: a large amount
+ * of *irregular* instruction-level parallelism with many live scalar
+ * values — historically resistant to both superscalars (too few
+ * registers) and multiprocessors (no loop-level parallelism).
+ *
+ * We emulate it with a deterministic generator: @p n_vars float
+ * scalars seeded from constants, then @p n_stmts statements of the
+ * form  v[x] = v[a] * c1 + v[b] * c2  (two multiplies and an add,
+ * occasionally a divide), with a, b, x drawn from a fixed xorshift
+ * stream.  The resulting DAG is irregular, has high ILP and keeps
+ * dozens of values live — the properties the paper's Figure 8
+ * experiment depends on.
+ */
+
+#include <cstdint>
+#include <string>
+
+namespace raw {
+
+/** Generate the fpppp-kernel rawc source. */
+std::string generate_fpppp(int n_vars = 48, int n_stmts = 220,
+                           uint64_t seed = 0xF0F0F0F0ULL);
+
+} // namespace raw
+
+#endif // RAW_PROGRAMS_FPPPP_GEN_HPP

@@ -1,0 +1,271 @@
+#include "programs/programs.hpp"
+
+#include "programs/fpppp_gen.hpp"
+#include "support/error.hpp"
+
+namespace raw {
+
+namespace {
+
+const char *kJacobi = R"rawc(
+// jacobi: Jacobi relaxation on a 32x32 grid (Rawbench)
+float A[32][32];
+float B[32][32];
+int i; int j; int t;
+for (i = 0; i < 32; i = i + 1) {
+  for (j = 0; j < 32; j = j + 1) {
+    A[i][j] = (float)(i * 3 + j * 7 + (i * j) % 11);
+    B[i][j] = A[i][j];
+  }
+}
+for (t = 0; t < 4; t = t + 1) {
+  for (i = 1; i < 31; i = i + 1) {
+    for (j = 1; j < 31; j = j + 1) {
+      B[i][j] = 0.25 * (A[i-1][j] + A[i+1][j] + A[i][j-1] + A[i][j+1]);
+    }
+  }
+  for (i = 1; i < 31; i = i + 1) {
+    for (j = 1; j < 31; j = j + 1) {
+      A[i][j] = B[i][j];
+    }
+  }
+}
+print(A[7][9]);
+print(A[16][16]);
+)rawc";
+
+const char *kLife = R"rawc(
+// life: Conway's Game of Life, 32x32, toroidal interior (Rawbench)
+int world[32][32];
+int nw[32][32];
+int i; int j; int g; int sum; int cs;
+for (i = 0; i < 32; i = i + 1) {
+  for (j = 0; j < 32; j = j + 1) {
+    world[i][j] = (((i * j) + 3 * i + 7 * j) % 5 == 0);
+    nw[i][j] = 0;
+  }
+}
+for (g = 0; g < 4; g = g + 1) {
+  for (i = 1; i < 31; i = i + 1) {
+    for (j = 1; j < 31; j = j + 1) {
+      sum = world[i-1][j-1] + world[i-1][j] + world[i-1][j+1]
+          + world[i][j-1] + world[i][j+1]
+          + world[i+1][j-1] + world[i+1][j] + world[i+1][j+1];
+      if (sum == 3) {
+        nw[i][j] = 1;
+      } else {
+        if (sum == 2) {
+          nw[i][j] = world[i][j];
+        } else {
+          nw[i][j] = 0;
+        }
+      }
+    }
+  }
+  for (i = 1; i < 31; i = i + 1) {
+    for (j = 1; j < 31; j = j + 1) {
+      world[i][j] = nw[i][j];
+    }
+  }
+}
+cs = 0;
+for (i = 0; i < 32; i = i + 1) {
+  for (j = 0; j < 32; j = j + 1) {
+    cs = cs + world[i][j];
+  }
+}
+print(cs);
+)rawc";
+
+const char *kMxm = R"rawc(
+// mxm: matrix multiply, 32x64 times 64x8 (nasa7 / Spec92)
+float A[32][64];
+float B[64][8];
+float C[32][8];
+int i; int j; int k;
+float s;
+for (i = 0; i < 32; i = i + 1) {
+  for (k = 0; k < 64; k = k + 1) {
+    A[i][k] = (float)((i + 2 * k) % 9) * 0.5 + 0.25;
+  }
+}
+for (k = 0; k < 64; k = k + 1) {
+  for (j = 0; j < 8; j = j + 1) {
+    B[k][j] = (float)((3 * k + j) % 7) * 0.25 + 0.125;
+  }
+}
+for (i = 0; i < 32; i = i + 1) {
+  for (j = 0; j < 8; j = j + 1) {
+    s = 0.0;
+    for (k = 0; k < 64; k = k + 1) {
+      s = s + A[i][k] * B[k][j];
+    }
+    C[i][j] = s;
+  }
+}
+print(C[5][3]);
+print(C[31][7]);
+)rawc";
+
+const char *kVpenta = R"rawc(
+// vpenta: simultaneous pentadiagonal elimination sweeps (nasa7).
+// Fortran vpenta walks columns, so the C equivalent carries the
+// recurrence along the *row* index of x[i][j]: the inner loop over i
+// strides by 32 (static without unrolling) while the outer j loop
+// must be unrolled/peeled to satisfy the static reference property.
+float a[32][32];
+float b[32][32];
+float c[32][32];
+float x[32][32];
+float y[32][32];
+int i; int j;
+for (i = 0; i < 32; i = i + 1) {
+  for (j = 0; j < 32; j = j + 1) {
+    a[i][j] = 0.1 + (float)((i + j) % 5) * 0.05;
+    b[i][j] = 0.2 + (float)((2 * i + j) % 7) * 0.03;
+    c[i][j] = 1.5 + (float)((i * j) % 3) * 0.1;
+    x[i][j] = (float)((i * 5 + j * 3) % 13) * 0.25;
+    y[i][j] = (float)((i + 4 * j) % 11) * 0.125;
+  }
+}
+// Forward elimination along j, vector over i.
+for (j = 2; j < 32; j = j + 1) {
+  for (i = 0; i < 32; i = i + 1) {
+    x[i][j] = x[i][j] - a[i][j] * x[i][j-1] - b[i][j] * x[i][j-2];
+    y[i][j] = y[i][j] - a[i][j] * y[i][j-1] - b[i][j] * y[i][j-2];
+  }
+}
+// Back substitution along j, vector over i.
+for (j = 29; j >= 0; j = j - 1) {
+  for (i = 0; i < 32; i = i + 1) {
+    x[i][j] = (x[i][j] - a[i][j] * x[i][j+1]) / c[i][j];
+    y[i][j] = (y[i][j] - a[i][j] * y[i][j+1]) / c[i][j];
+  }
+}
+print(x[3][4]);
+print(y[17][21]);
+)rawc";
+
+const char *kCholesky = R"rawc(
+// cholesky: decomposition of three 15x15 SPD matrices (nasa7).
+// Rows padded to 16 words, the usual alignment practice.
+float a[3][15][16];
+int m; int i; int j; int k;
+for (m = 0; m < 3; m = m + 1) {
+  for (i = 0; i < 15; i = i + 1) {
+    for (j = 0; j < 15; j = j + 1) {
+      if (i < j) {
+        a[m][i][j] = (float)(i + 1 + m);
+      } else {
+        a[m][i][j] = (float)(j + 1 + m);
+      }
+      if (i == j) {
+        a[m][i][j] = a[m][i][j] + 16.0;
+      }
+    }
+  }
+}
+for (m = 0; m < 3; m = m + 1) {
+  for (k = 0; k < 15; k = k + 1) {
+    a[m][k][k] = sqrt(a[m][k][k]);
+    for (i = 0; i < 15; i = i + 1) {
+      if (i > k) {
+        a[m][i][k] = a[m][i][k] / a[m][k][k];
+      }
+    }
+    for (j = 0; j < 15; j = j + 1) {
+      for (i = 0; i < 15; i = i + 1) {
+        if (j > k) {
+          if (i >= j) {
+            a[m][i][j] = a[m][i][j] - a[m][i][k] * a[m][j][k];
+          }
+        }
+      }
+    }
+  }
+}
+print(a[0][14][14]);
+print(a[1][7][3]);
+print(a[2][14][0]);
+)rawc";
+
+const char *kTomcatv = R"rawc(
+// tomcatv: vectorized mesh generation with Thompson's solver
+// (Spec92), 32x32 mesh, iteration count reduced for simulation.
+float xx[32][32];
+float yy[32][32];
+float rx[32][32];
+float ry[32][32];
+float dd[32][32];
+int i; int j; int it;
+for (i = 0; i < 32; i = i + 1) {
+  for (j = 0; j < 32; j = j + 1) {
+    xx[i][j] = (float)i * 0.3 + (float)j * 0.011;
+    yy[i][j] = (float)j * 0.3 + (float)(i * j) * 0.002;
+    rx[i][j] = 0.0;
+    ry[i][j] = 0.0;
+    dd[i][j] = 0.0;
+  }
+}
+for (it = 0; it < 3; it = it + 1) {
+  // Residual computation (central differences).
+  for (i = 1; i < 31; i = i + 1) {
+    for (j = 1; j < 31; j = j + 1) {
+      rx[i][j] = xx[i+1][j] + xx[i-1][j] + xx[i][j+1] + xx[i][j-1]
+               - 4.0 * xx[i][j];
+      ry[i][j] = yy[i+1][j] + yy[i-1][j] + yy[i][j+1] + yy[i][j-1]
+               - 4.0 * yy[i][j];
+      dd[i][j] = sqrt(rx[i][j] * rx[i][j] + ry[i][j] * ry[i][j]
+               + 0.0001);
+    }
+  }
+  // SLOR-style update sweep.
+  for (i = 1; i < 31; i = i + 1) {
+    for (j = 1; j < 31; j = j + 1) {
+      xx[i][j] = xx[i][j] + rx[i][j] * 0.125 / dd[i][j];
+      yy[i][j] = yy[i][j] + ry[i][j] * 0.125 / dd[i][j];
+    }
+  }
+}
+print(xx[16][16]);
+print(yy[8][24]);
+)rawc";
+
+std::vector<BenchmarkProgram>
+make_suite()
+{
+    std::vector<BenchmarkProgram> v;
+    v.push_back({"life", kLife, "world",
+                 "Conway's Game of Life (irregular control)"});
+    v.push_back({"vpenta", kVpenta, "x",
+                 "Inverts pentadiagonals simultaneously"});
+    v.push_back({"cholesky", kCholesky, "a",
+                 "Cholesky decomposition/substitution"});
+    v.push_back({"tomcatv", kTomcatv, "xx",
+                 "Mesh generation with Thompson's solver"});
+    v.push_back({"fpppp-kernel", generate_fpppp(), "__fvars",
+                 "Electron interval derivatives (irregular FP block)"});
+    v.push_back({"mxm", kMxm, "C", "Matrix multiplication"});
+    v.push_back({"jacobi", kJacobi, "A", "Jacobi relaxation"});
+    return v;
+}
+
+} // namespace
+
+const std::vector<BenchmarkProgram> &
+benchmark_suite()
+{
+    static const std::vector<BenchmarkProgram> suite = make_suite();
+    return suite;
+}
+
+const BenchmarkProgram &
+benchmark(const std::string &name)
+{
+    for (const BenchmarkProgram &b : benchmark_suite())
+        if (b.name == name)
+            return b;
+    fatal("unknown benchmark: " + name);
+}
+
+} // namespace raw

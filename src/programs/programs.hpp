@@ -1,0 +1,48 @@
+#ifndef RAW_PROGRAMS_PROGRAMS_HPP
+#define RAW_PROGRAMS_PROGRAMS_HPP
+
+/**
+ * @file
+ * The benchmark suite of Table 2, rewritten in rawc.
+ *
+ * | name          | origin            | arrays        | parallelism |
+ * |---------------|-------------------|---------------|-------------|
+ * | life          | Rawbench          | 32x32         | irregular (control inside loop) |
+ * | vpenta        | nasa7 / Spec92    | 32x32 (x5)    | column sweeps (outer unroll)    |
+ * | cholesky      | nasa7 / Spec92    | 3x15x16       | triangular, peeled |
+ * | tomcatv       | Spec92            | 32x32 (x5)    | stencil sweeps |
+ * | fpppp-kernel  | Spec92            | scalar        | one huge irregular FP block |
+ * | mxm           | nasa7 / Spec92    | 32x64 * 64x8  | dense matmul |
+ * | jacobi        | Rawbench          | 32x32         | stencil |
+ *
+ * Iteration counts are scaled so full-machine simulation stays
+ * tractable (see EXPERIMENTS.md); per-iteration structure matches the
+ * original kernels.  All floating point is single precision, as in
+ * the paper.
+ */
+
+#include <string>
+#include <vector>
+
+namespace raw {
+
+/** Descriptor of one benchmark program. */
+struct BenchmarkProgram
+{
+    std::string name;
+    std::string source;
+    /** Array whose final contents identify the computation's result. */
+    std::string check_array;
+    /** Short description (Table 2 column). */
+    std::string description;
+};
+
+/** All seven Table 2 benchmarks. */
+const std::vector<BenchmarkProgram> &benchmark_suite();
+
+/** Look up one benchmark by name; fatal if unknown. */
+const BenchmarkProgram &benchmark(const std::string &name);
+
+} // namespace raw
+
+#endif // RAW_PROGRAMS_PROGRAMS_HPP

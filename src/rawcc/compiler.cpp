@@ -1,0 +1,91 @@
+#include "rawcc/compiler.hpp"
+
+#include "frontend/lower.hpp"
+#include "frontend/parser.hpp"
+#include "ir/verifier.hpp"
+#include "rawcc/portfold.hpp"
+#include "transform/constfold.hpp"
+#include "transform/rename.hpp"
+#include "transform/simplify.hpp"
+#include "transform/split.hpp"
+#include "transform/strength.hpp"
+
+namespace raw {
+
+CompileOutput
+compile_function(Function fn, const MachineConfig &machine,
+                 const CompilerOptions &opts)
+{
+    machine.validate();
+    CompileOutput out;
+
+    // Malformed input must fail cleanly before any transform touches
+    // it (the passes assume structurally valid blocks).
+    if (opts.verify_ir)
+        verify_or_panic(fn, "input");
+
+    constfold_function(fn);
+    while (simplify_cfg(fn))
+        constfold_function(fn);
+    strength_reduce(fn);
+    constfold_function(fn);
+    split_large_blocks(fn, opts.max_block_len);
+    if (opts.verify_ir)
+        verify_or_panic(fn, "constfold");
+    rename_function(fn);
+    if (opts.verify_ir)
+        verify_or_panic(fn, "rename");
+    out.stats.ir_instrs = static_cast<int64_t>(fn.num_instrs());
+
+    OrchestraterOptions orch_opts = opts.orch;
+    if (opts.smart_homes && orch_opts.var_home_override.empty()) {
+        // Phase 1: trial orchestration on a copy to collect usage
+        // votes; phase 2 (below) re-runs with the voted homes.
+        Function trial = fn;
+        VirtualProgram probe = orchestrate(trial, machine, orch_opts);
+        orch_opts.var_home_override.assign(fn.values.size(), -1);
+        for (const auto &[v, votes] : probe.var_votes) {
+            int best_tile = -1, best = 0;
+            for (const auto &[tile, n] : votes)
+                if (n > best) {
+                    best = n;
+                    best_tile = tile;
+                }
+            if (v < static_cast<ValueId>(fn.values.size()))
+                orch_opts.var_home_override[v] = best_tile;
+        }
+    }
+    VirtualProgram vp = orchestrate(fn, machine, orch_opts);
+    if (opts.orch.fold_ports)
+        out.stats.folded_port_ops = fold_port_operands(vp, fn);
+    LinkStats ls;
+    out.program = link_program(fn, vp, machine, &ls);
+
+    out.stats.dynamic_refs = vp.dynamic_refs;
+    out.stats.replicated_branches = vp.replicated_branches;
+    out.stats.broadcast_branches = vp.broadcast_branches;
+    out.stats.spill_ops = ls.spill_ops;
+    out.stats.static_instrs = out.program.static_instrs();
+    out.stats.block_makespan = vp.block_makespan;
+    out.fn = std::move(fn);
+    return out;
+}
+
+CompileOutput
+compile_source(const std::string &source, const MachineConfig &machine,
+               const CompilerOptions &opts)
+{
+    machine.validate();
+    Program ast = parse_program(source);
+    UnrollOptions uo = opts.unroll;
+    uo.n_tiles = machine.n_tiles;
+    UnrollStats us = unroll_program(ast, uo);
+    Function fn = lower_program(ast);
+    if (opts.verify_ir)
+        verify_or_panic(fn, "lowering");
+    CompileOutput out = compile_function(std::move(fn), machine, opts);
+    out.stats.unroll = us;
+    return out;
+}
+
+} // namespace raw

@@ -1,0 +1,90 @@
+#ifndef RAW_RAWCC_COMPILER_HPP
+#define RAW_RAWCC_COMPILER_HPP
+
+/**
+ * @file
+ * RAWCC public API: compile a rawc source program for a Raw machine.
+ *
+ * Pipeline (Section 3.2): basic block identification with loop
+ * unrolling (frontend + unroller), basic block orchestration
+ * (renaming, task graph, partitioning, stitching, communication
+ * generation, event scheduling), code generation (register
+ * allocation + linking).
+ *
+ * Typical use:
+ * @code
+ *   raw::MachineConfig m = raw::MachineConfig::base(16);
+ *   raw::CompileOutput out = raw::compile_source(src, m);
+ *   raw::Simulator sim(out.program);
+ *   raw::SimResult r = sim.run();
+ * @endcode
+ */
+
+#include <string>
+
+#include "frontend/unroll.hpp"
+#include "ir/function.hpp"
+#include "machine/machine.hpp"
+#include "rawcc/linker.hpp"
+#include "rawcc/orchestrater.hpp"
+#include "sim/isa.hpp"
+
+namespace raw {
+
+/** All compilation knobs. */
+struct CompilerOptions
+{
+    UnrollOptions unroll;
+    OrchestraterOptions orch;
+    /** Run the IR verifier between phases. */
+    bool verify_ir = true;
+    /** Blocks longer than this are cut (see transform/split.hpp). */
+    size_t max_block_len = 20000;
+    /**
+     * Usage-aware data partitioning (the paper's stated future work
+     * for the round-robin policy): compile once, observe where each
+     * scalar's producers/consumers land, then recompile with each
+     * scalar homed on its most-voted tile.
+     */
+    bool smart_homes = false;
+};
+
+/** Compilation statistics (consumed by benches and tests). */
+struct CompileStats
+{
+    UnrollStats unroll;
+    int dynamic_refs = 0;
+    int replicated_branches = 0;
+    int broadcast_branches = 0;
+    int64_t spill_ops = 0;
+    int folded_port_ops = 0;
+    int64_t ir_instrs = 0;
+    int64_t static_instrs = 0;
+    /** Scheduler makespan estimate per block. */
+    std::vector<int64_t> block_makespan;
+};
+
+/** Result of a compilation. */
+struct CompileOutput
+{
+    CompiledProgram program;
+    CompileStats stats;
+    /** Final IR (post-unroll/rename), useful for dumps and tests. */
+    Function fn;
+};
+
+/** Compile rawc source text for @p machine. */
+CompileOutput compile_source(const std::string &source,
+                             const MachineConfig &machine,
+                             const CompilerOptions &opts = {});
+
+/**
+ * Compile an already-lowered IR function (tests that synthesize IR
+ * directly).  Runs folding, renaming and orchestration; no unrolling.
+ */
+CompileOutput compile_function(Function fn, const MachineConfig &machine,
+                               const CompilerOptions &opts = {});
+
+} // namespace raw
+
+#endif // RAW_RAWCC_COMPILER_HPP

@@ -1,0 +1,45 @@
+#include "rawcc/data_partitioner.hpp"
+
+namespace raw {
+
+DataPartition
+partition_data(const Function &fn, const ReplicationAnalysis &repl,
+               const MachineConfig &machine,
+               const std::vector<int> &home_override)
+{
+    DataPartition dp;
+    dp.homes.n_tiles = machine.n_tiles;
+    dp.homes.var_home.assign(fn.values.size(), -1);
+    dp.homes.array_base.assign(fn.arrays.size(), 0);
+
+    int64_t offset = 0;
+    for (size_t a = 0; a < fn.arrays.size(); a++) {
+        const ArrayInfo &ai = fn.arrays[a];
+        ArrayLayout al;
+        al.name = ai.name;
+        al.type = ai.type;
+        al.base = offset;
+        al.size = ai.size();
+        dp.homes.array_base[a] = offset;
+        offset += al.size;
+        dp.arrays.push_back(al);
+    }
+    dp.total_words = offset;
+
+    int next = 0;
+    for (ValueId v : fn.var_ids()) {
+        if (repl.var_replicated(v))
+            continue;
+        if (v < static_cast<ValueId>(home_override.size()) &&
+            home_override[v] >= 0 &&
+            home_override[v] < machine.n_tiles) {
+            dp.homes.var_home[v] = home_override[v];
+            continue;
+        }
+        dp.homes.var_home[v] = next;
+        next = (next + 1) % machine.n_tiles;
+    }
+    return dp;
+}
+
+} // namespace raw

@@ -1,0 +1,48 @@
+#ifndef RAW_RAWCC_DATA_PARTITIONER_HPP
+#define RAW_RAWCC_DATA_PARTITIONER_HPP
+
+/**
+ * @file
+ * Data partitioner (Section 3.3 / Section 5.2).
+ *
+ * Arrays are placed in a single low-order-interleaved global address
+ * space: element (base + idx) lives on tile ((base + idx) mod N), the
+ * paper's default best-effort policy for fine-grained parallel memory
+ * access.  Persistent scalars are assigned home tiles round-robin (the
+ * paper's current policy); their values live in a register on the home
+ * tile.  Control-replicated variables have no home — every tile keeps
+ * a private copy.
+ */
+
+#include <vector>
+
+#include "analysis/replication.hpp"
+#include "analysis/taskgraph.hpp"
+#include "ir/function.hpp"
+#include "machine/machine.hpp"
+#include "sim/isa.hpp"
+
+namespace raw {
+
+/** Result of data partitioning. */
+struct DataPartition
+{
+    HomeMap homes;
+    std::vector<ArrayLayout> arrays;
+    int64_t total_words = 0;
+};
+
+/**
+ * Assign array bases and scalar home tiles.  @p home_override (may
+ * be empty) pins specific variables to specific tiles — used by the
+ * usage-aware second compilation pass; everything else is assigned
+ * round-robin, the paper's current policy.
+ */
+DataPartition partition_data(const Function &fn,
+                             const ReplicationAnalysis &repl,
+                             const MachineConfig &machine,
+                             const std::vector<int> &home_override = {});
+
+} // namespace raw
+
+#endif // RAW_RAWCC_DATA_PARTITIONER_HPP

@@ -1,0 +1,30 @@
+#ifndef RAW_RAWCC_LINKER_HPP
+#define RAW_RAWCC_LINKER_HPP
+
+/**
+ * @file
+ * Final code assembly: register allocation per tile, block layout,
+ * branch target resolution, and jump-to-next-block elimination.
+ */
+
+#include "ir/function.hpp"
+#include "rawcc/orchestrater.hpp"
+#include "sim/isa.hpp"
+
+namespace raw {
+
+/** Statistics from linking. */
+struct LinkStats
+{
+    int64_t spill_ops = 0;
+    int total_spill_slots = 0;
+};
+
+/** Allocate registers and lay out the final CompiledProgram. */
+CompiledProgram link_program(const Function &fn, VirtualProgram &vp,
+                             const MachineConfig &machine,
+                             LinkStats *stats = nullptr);
+
+} // namespace raw
+
+#endif // RAW_RAWCC_LINKER_HPP

@@ -1,0 +1,470 @@
+#include "rawcc/orchestrater.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <map>
+#include <unordered_map>
+
+#include "transform/congruence.hpp"
+#include "analysis/liveness.hpp"
+#include "transform/rename.hpp"
+#include "support/error.hpp"
+
+namespace raw {
+
+namespace {
+
+/** Control tail: cloned replicated instructions with fresh temps. */
+struct TailTemplate
+{
+    std::vector<VInstr> instrs;
+    std::unordered_map<ValueId, ValueId> remap;
+};
+
+TailTemplate
+build_tail(Function &fn, int b, const ReplicationAnalysis &repl)
+{
+    TailTemplate t;
+    const std::vector<int> cloned = repl.cloned_instrs(b);
+    for (int k : cloned) {
+        const Instr &in = fn.blocks[b].instrs[k];
+        VInstr v;
+        v.op = in.op;
+        v.type = in.type;
+        v.imm = in.imm_bits;
+        v.array = in.array;
+        for (int s = 0; s < in.num_srcs(); s++) {
+            ValueId x = in.src[s];
+            if (!fn.values[x].is_var) {
+                auto it = t.remap.find(x);
+                check(it != t.remap.end(),
+                      "control tail: slice temp without a cloned def");
+                x = it->second;
+            }
+            v.src[s] = x;
+        }
+        if (in.has_dst()) {
+            if (fn.values[in.dst].is_var) {
+                v.dst = in.dst;
+            } else {
+                ValueId fresh = fn.new_value(in.type);
+                t.remap[in.dst] = fresh;
+                v.dst = fresh;
+            }
+        }
+        t.instrs.push_back(v);
+    }
+    return t;
+}
+
+/**
+ * Rewrite statically unanalyzable refs to the dynamic network.
+ *
+ * Correctness requires more than flipping the opcode: tiles are
+ * decoupled across basic blocks, so two dynamic references to the
+ * same array in different blocks would race if they executed on
+ * different tiles.  The conservative model (Section 5.1 "fails for
+ * other memory references") therefore treats any array with at least
+ * one unanalyzable access as *fully dynamic*: every access to it
+ * becomes a dynamic reference, and the task graph pins all of them to
+ * one designated tile per array, whose in-order instruction stream
+ * serializes them program-wide.
+ */
+int
+rewrite_dynamic_refs(Function &fn, const HomeMap &homes)
+{
+    // Pass 1: find arrays with any statically unanalyzable access.
+    std::vector<bool> dynamic_array(fn.arrays.size(), false);
+    for (size_t b = 0; b < fn.blocks.size(); b++) {
+        CongruenceMap cong(fn, static_cast<int>(b));
+        for (const Instr &in : fn.blocks[b].instrs) {
+            if (in.op != Op::kLoad && in.op != Op::kStore)
+                continue;
+            if (cong.residue_mod(in.src[0], homes.n_tiles) < 0)
+                dynamic_array[in.array] = true;
+        }
+    }
+    // Pass 2: demote every access of a dynamic array.
+    int count = 0;
+    for (size_t b = 0; b < fn.blocks.size(); b++) {
+        CongruenceMap cong(fn, static_cast<int>(b));
+        for (Instr &in : fn.blocks[b].instrs) {
+            if (in.op != Op::kLoad && in.op != Op::kStore)
+                continue;
+            if (dynamic_array[in.array]) {
+                if (getenv("RAW_DEBUG_DYN") && count < 10) {
+                    const Congruence &c = cong.get(in.src[0]);
+                    fprintf(stderr,
+                            "dyn ref: block %s array %s idx v%d "
+                            "cong (%lld mod %lld)\n",
+                            fn.blocks[b].name.c_str(),
+                            fn.arrays[in.array].name.c_str(),
+                            in.src[0],
+                            static_cast<long long>(c.residue),
+                            static_cast<long long>(c.modulus));
+                }
+                in.op = in.op == Op::kLoad ? Op::kDynLoad
+                                           : Op::kDynStore;
+                count++;
+            }
+        }
+    }
+    return count;
+}
+
+/** Translate one block instruction to a VInstr. */
+VInstr
+to_vinstr(const Instr &in, int print_seq)
+{
+    VInstr v;
+    v.op = in.op;
+    v.type = in.type;
+    v.dst = in.dst;
+    v.src[0] = in.src[0];
+    v.src[1] = in.src[1];
+    v.imm = in.imm_bits;
+    v.array = in.array;
+    v.print_seq = print_seq;
+    return v;
+}
+
+} // namespace
+
+VirtualProgram
+orchestrate(Function &fn, const MachineConfig &machine,
+            const OrchestraterOptions &opts)
+{
+    const int n_tiles = machine.n_tiles;
+    const int n_blocks = static_cast<int>(fn.blocks.size());
+
+    VirtualProgram vp;
+    ReplicationAnalysis repl(fn, machine.num_switch_registers, 12,
+                             opts.enable_replication);
+    VarLiveness live(fn);
+    vp.data = partition_data(fn, repl, machine,
+                             opts.var_home_override);
+    vp.dynamic_refs = rewrite_dynamic_refs(fn, vp.data.homes);
+
+    // Global print ordering tags (program order).
+    std::vector<std::vector<int>> pseq(n_blocks);
+    for (int b = 0; b < n_blocks; b++) {
+        pseq[b].assign(fn.blocks[b].instrs.size(), -1);
+        for (size_t k = 0; k < fn.blocks[b].instrs.size(); k++)
+            if (fn.blocks[b].instrs[k].op == Op::kPrint)
+                pseq[b][k] = vp.num_prints++;
+    }
+
+    // Per-block analyses, graphs and partitions.  Congruence maps are
+    // O(#values) each, so they are built per block and dropped.
+    std::vector<TaskGraph> graphs;
+    std::vector<Partition> parts;
+    graphs.reserve(n_blocks);
+    parts.reserve(n_blocks);
+    for (int b = 0; b < n_blocks; b++) {
+        CongruenceMap cong(fn, b);
+        graphs.emplace_back(fn, b, machine, cong, repl, live,
+                            vp.data.homes);
+        parts.push_back(
+            partition_taskgraph(graphs[b], machine, opts.partition));
+        // Usage votes for the usage-aware data partitioner: where
+        // did this variable's producers and consumers land?
+        const TaskGraph &g = graphs[b];
+        for (size_t i = 0; i < g.nodes().size(); i++) {
+            const TGNode &nd = g.nodes()[i];
+            if (nd.kind == TGKind::kImport) {
+                for (int u : g.succs(static_cast<int>(i)))
+                    vp.var_votes[nd.var][parts[b].tile_of[u]]++;
+            } else if (is_writeback(fn, fn.blocks[b].instrs[nd.instr])) {
+                for (int p : g.preds(static_cast<int>(i)))
+                    vp.var_votes[fn.blocks[b].instrs[nd.instr].dst]
+                                [parts[b].tile_of[p]]++;
+            }
+        }
+    }
+
+    // Which branches broadcast?
+    std::vector<int> bcast(n_blocks, -1);
+    bool any_bcast = false;
+    for (int b = 0; b < n_blocks; b++) {
+        const Instr &term = fn.blocks[b].terminator();
+        if (term.op != Op::kBranch)
+            continue;
+        if (repl.branch_replicated(b)) {
+            vp.replicated_branches++;
+            continue;
+        }
+        vp.broadcast_branches++;
+        int node = graphs[b].producer_of(term.src[0]);
+        check(node >= 0, "orchestrater: branch condition has no "
+                         "producing node");
+        bcast[b] = node;
+        any_bcast = true;
+    }
+
+    // Switch activity: any switch that routes a word anywhere must
+    // follow all control flow; broadcasts transit arbitrary switches,
+    // so any broadcast on a multi-tile machine activates every switch.
+    vp.switch_active.assign(n_tiles, false);
+    if (any_bcast && n_tiles > 1) {
+        vp.switch_active.assign(n_tiles, true);
+    } else {
+        for (int b = 0; b < n_blocks; b++) {
+            std::vector<CommPath> paths = build_comm_paths(
+                graphs[b], parts[b], machine, -1, {});
+            for (const CommPath &p : paths) {
+                RouteTree tree = build_route_tree(machine, p);
+                for (const TreeHop &h : tree.hops)
+                    vp.switch_active[h.tile] = true;
+            }
+        }
+    }
+
+    // Switch register binding for replicated control: register 0 is
+    // the broadcast register; replicated variables get 1..k.
+    std::map<ValueId, int> svreg;
+    {
+        int next = 1;
+        for (ValueId v : fn.var_ids())
+            if (repl.var_replicated(v))
+                svreg[v] = next++;
+    }
+
+    vp.tiles.assign(n_tiles, std::vector<std::vector<VInstr>>(n_blocks));
+    vp.switches.assign(n_tiles,
+                       std::vector<std::vector<SInstr>>(n_blocks));
+
+    for (int b = 0; b < n_blocks; b++) {
+        std::vector<CommPath> paths = build_comm_paths(
+            graphs[b], parts[b], machine, bcast[b], vp.switch_active);
+        BlockSchedule sched = schedule_block(graphs[b], parts[b],
+                                             machine, paths,
+                                             opts.sched);
+        vp.block_makespan.push_back(sched.makespan);
+        TailTemplate tail = build_tail(fn, b, repl);
+        const Block &blk = fn.blocks[b];
+        const Instr &term = blk.terminator();
+
+        // ---- Processor streams. ---------------------------------
+        for (int t = 0; t < n_tiles; t++) {
+            std::vector<VInstr> &code = vp.tiles[t][b];
+            for (const TileItem &item : sched.tiles[t]) {
+                switch (item.kind) {
+                  case TileItem::Kind::kCompute: {
+                    const TGNode &nd = graphs[b].nodes()[item.node];
+                    check(nd.kind == TGKind::kInstr,
+                          "orchestrater: scheduled import");
+                    code.push_back(to_vinstr(blk.instrs[nd.instr],
+                                             pseq[b][nd.instr]));
+                    break;
+                  }
+                  case TileItem::Kind::kSend: {
+                    VInstr v;
+                    v.op = Op::kSend;
+                    v.src[0] = item.value;
+                    code.push_back(v);
+                    break;
+                  }
+                  case TileItem::Kind::kRecv: {
+                    VInstr v;
+                    v.op = Op::kRecv;
+                    v.dst = item.value;
+                    code.push_back(v);
+                    break;
+                  }
+                }
+            }
+            // Control tail + terminator.
+            for (const VInstr &v : tail.instrs)
+                code.push_back(v);
+            switch (term.op) {
+              case Op::kJump: {
+                VInstr v;
+                v.op = Op::kJump;
+                v.target_block = term.target[0];
+                code.push_back(v);
+                break;
+              }
+              case Op::kHalt: {
+                VInstr v;
+                v.op = Op::kHalt;
+                code.push_back(v);
+                break;
+              }
+              case Op::kBranch: {
+                ValueId cond = term.src[0];
+                if (repl.branch_replicated(b) &&
+                    !fn.values[cond].is_var) {
+                    auto it = tail.remap.find(cond);
+                    check(it != tail.remap.end(),
+                          "orchestrater: replicated branch condition "
+                          "not in tail");
+                    cond = it->second;
+                }
+                VInstr br;
+                br.op = Op::kBranch;
+                br.src[0] = cond;
+                br.target_block = term.target[0];
+                code.push_back(br);
+                VInstr jf;
+                jf.op = Op::kJump;
+                jf.target_block = term.target[1];
+                code.push_back(jf);
+                break;
+              }
+              default:
+                panic("orchestrater: bad terminator");
+            }
+        }
+
+        // ---- Switch streams. ------------------------------------
+        for (int t = 0; t < n_tiles; t++) {
+            if (!vp.switch_active[t])
+                continue;
+            std::vector<SInstr> &code = vp.switches[t][b];
+            // One ROUTE per hop: same-cycle hops of distinct paths
+            // stay separate instructions in a globally consistent
+            // (cycle, path) order — see SwitchItem::path.
+            for (const SwitchItem &item : sched.switches[t]) {
+                SInstr route;
+                route.k = SInstr::K::kRoute;
+                RoutePair rp;
+                rp.in = item.in;
+                rp.out_mask = item.out_mask;
+                rp.reg_dst = item.to_reg ? 0 : -1;
+                route.routes.push_back(rp);
+                code.push_back(std::move(route));
+            }
+            // Control tail: every active switch maintains the
+            // replicated variables in every block, not only in
+            // blocks that end in a replicated branch — the loop
+            // counter's init and update slices live in jump blocks.
+            // Temp switch registers are reused after a temp's last
+            // use (the replication analysis budgets on this).
+            std::map<ValueId, int> stemp;
+            std::vector<int> sfree;
+            for (int r = machine.num_switch_registers;
+                 r-- > 1 + static_cast<int>(svreg.size());)
+                sfree.push_back(r);
+            std::map<ValueId, size_t> last_use;
+            for (size_t pos = 0; pos < tail.instrs.size(); pos++) {
+                const VInstr &v = tail.instrs[pos];
+                for (ValueId s : v.src)
+                    if (s != kNoValue && !fn.values[s].is_var)
+                        last_use[s] = pos;
+            }
+            ValueId br_cond = kNoValue;
+            if (term.op == Op::kBranch &&
+                repl.branch_replicated(b)) {
+                br_cond = term.src[0];
+                if (!fn.values[br_cond].is_var) {
+                    auto it = tail.remap.find(br_cond);
+                    check(it != tail.remap.end(),
+                          "orchestrater: replicated condition "
+                          "missing from tail");
+                    br_cond = it->second;
+                    last_use[br_cond] = tail.instrs.size();
+                }
+            }
+            auto sreg = [&](ValueId v) -> int {
+                auto iv = svreg.find(v);
+                if (iv != svreg.end())
+                    return iv->second;
+                auto it = stemp.find(v);
+                check(it != stemp.end(),
+                      "orchestrater: unmapped switch value");
+                return it->second;
+            };
+            for (size_t pos = 0; pos < tail.instrs.size(); pos++) {
+                const VInstr &v = tail.instrs[pos];
+                SInstr si;
+                si.k = SInstr::K::kAlu;
+                si.op = v.op;
+                si.imm = v.imm;
+                if (v.src[0] != kNoValue)
+                    si.a = sreg(v.src[0]);
+                if (v.src[1] != kNoValue)
+                    si.b = sreg(v.src[1]);
+                if (v.dst != kNoValue) {
+                    auto iv = svreg.find(v.dst);
+                    if (iv != svreg.end()) {
+                        si.dst = iv->second;
+                    } else {
+                        check(!sfree.empty(),
+                              "orchestrater: switch register "
+                              "budget exceeded");
+                        stemp[v.dst] = sfree.back();
+                        sfree.pop_back();
+                        si.dst = stemp[v.dst];
+                    }
+                }
+                code.push_back(si);
+                // Free temps whose last use was this instruction.
+                for (ValueId s : v.src) {
+                    if (s == kNoValue || fn.values[s].is_var)
+                        continue;
+                    auto lu = last_use.find(s);
+                    auto tr = stemp.find(s);
+                    if (lu != last_use.end() && lu->second == pos &&
+                        tr != stemp.end()) {
+                        sfree.push_back(tr->second);
+                        stemp.erase(tr);
+                    }
+                }
+            }
+            if (term.op == Op::kBranch &&
+                repl.branch_replicated(b)) {
+                ValueId cond = term.src[0];
+                if (!fn.values[cond].is_var) {
+                    auto it = tail.remap.find(cond);
+                    check(it != tail.remap.end(),
+                          "orchestrater: switch branch condition "
+                          "not in tail");
+                    cond = it->second;
+                }
+                SInstr bn;
+                bn.k = SInstr::K::kBnez;
+                bn.cond = sreg(cond);
+                bn.target = term.target[0];
+                code.push_back(bn);
+                SInstr jf;
+                jf.k = SInstr::K::kJump;
+                jf.target = term.target[1];
+                code.push_back(jf);
+            } else if (term.op == Op::kBranch) {
+                SInstr bn;
+                bn.k = SInstr::K::kBnez;
+                bn.cond = 0;
+                bn.target = term.target[0];
+                code.push_back(bn);
+                SInstr jf;
+                jf.k = SInstr::K::kJump;
+                jf.target = term.target[1];
+                code.push_back(jf);
+            } else if (term.op == Op::kJump) {
+                SInstr j;
+                j.k = SInstr::K::kJump;
+                j.target = term.target[0];
+                code.push_back(j);
+            } else {
+                SInstr h;
+                h.k = SInstr::K::kHalt;
+                code.push_back(h);
+            }
+        }
+    }
+
+    // Persistent value sets per tile.
+    vp.persistent.assign(n_tiles, {});
+    for (ValueId v : fn.var_ids()) {
+        if (repl.var_replicated(v)) {
+            for (int t = 0; t < n_tiles; t++)
+                vp.persistent[t].push_back(v);
+        } else {
+            vp.persistent[vp.data.homes.var_home[v]].push_back(v);
+        }
+    }
+    return vp;
+}
+
+} // namespace raw

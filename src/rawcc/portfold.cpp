@@ -1,0 +1,135 @@
+#include "rawcc/portfold.hpp"
+
+#include <unordered_map>
+
+#include "ir/eval.hpp"
+
+#include "support/error.hpp"
+
+namespace raw {
+
+namespace {
+
+/** May this opcode consume a port word as a source operand? */
+bool
+can_take_port_src(Op op)
+{
+    if (op == Op::kPrint)
+        return true;
+    if (op == Op::kStore)
+        return true; // value operand only
+    uint32_t dummy;
+    return eval_op(op, 0, 0, dummy) || op == Op::kMove;
+}
+
+/** May this opcode's result go straight to the output port?
+ *  Restricted to single-cycle producers so the latency model stays
+ *  sound (the port has no scoreboard). */
+bool
+can_put_port_dst(Op op)
+{
+    switch (op) {
+      case Op::kConst:
+      case Op::kMove:
+      case Op::kAdd:
+      case Op::kSub:
+      case Op::kAnd:
+      case Op::kOr:
+      case Op::kXor:
+      case Op::kShl:
+      case Op::kShr:
+      case Op::kNeg:
+      case Op::kNot:
+      case Op::kCmpEq:
+      case Op::kCmpNe:
+      case Op::kCmpLt:
+      case Op::kCmpLe:
+      case Op::kCmpGt:
+      case Op::kCmpGe:
+        return true;
+      default:
+        return false;
+    }
+}
+
+int
+fold_block(std::vector<VInstr> &code, const Function &fn)
+{
+    // Use counts of every value within this stream.
+    std::unordered_map<ValueId, int> uses;
+    for (const VInstr &in : code)
+        for (ValueId s : in.src)
+            if (s >= 0)
+                uses[s]++;
+
+    int folded = 0;
+    std::vector<VInstr> out;
+    out.reserve(code.size());
+    size_t k = 0;
+    while (k < code.size()) {
+        const VInstr &cur = code[k];
+
+        // RECV t ; op ..., t, ...   ->   op ..., <port>, ...
+        if (cur.op == Op::kRecv && k + 1 < code.size() &&
+            cur.dst >= 0 && !fn.values[cur.dst].is_var &&
+            uses[cur.dst] == 1) {
+            VInstr next = code[k + 1];
+            bool next_has_port = next.src[0] == kPortOperand ||
+                                 next.src[1] == kPortOperand;
+            int slot = -1;
+            if (next.src[0] == cur.dst && next.src[1] != cur.dst)
+                slot = 0;
+            else if (next.src[1] == cur.dst &&
+                     next.src[0] != cur.dst)
+                slot = 1;
+            // Store addresses must stay in registers (the home-tile
+            // assertion reads them), so only the value operand folds.
+            bool slot_ok =
+                next.op != Op::kStore || slot == 1;
+            if (slot >= 0 && slot_ok && !next_has_port &&
+                can_take_port_src(next.op)) {
+                next.src[slot] = kPortOperand;
+                out.push_back(next);
+                folded++;
+                k += 2;
+                continue;
+            }
+        }
+
+        // op t, ... ; SEND t   ->   op <port>, ...
+        if (k + 1 < code.size() && cur.dst >= 0 &&
+            !fn.values[cur.dst].is_var && uses[cur.dst] == 1 &&
+            can_put_port_dst(cur.op) &&
+            cur.src[0] != kPortOperand &&
+            cur.src[1] != kPortOperand) {
+            const VInstr &next = code[k + 1];
+            if (next.op == Op::kSend && next.src[0] == cur.dst) {
+                VInstr prod = cur;
+                prod.dst = kPortOperand;
+                out.push_back(prod);
+                folded++;
+                k += 2;
+                continue;
+            }
+        }
+
+        out.push_back(cur);
+        k++;
+    }
+    code = std::move(out);
+    return folded;
+}
+
+} // namespace
+
+int
+fold_port_operands(VirtualProgram &vp, const Function &fn)
+{
+    int folded = 0;
+    for (auto &tile : vp.tiles)
+        for (auto &block : tile)
+            folded += fold_block(block, fn);
+    return folded;
+}
+
+} // namespace raw

@@ -1,0 +1,33 @@
+#ifndef RAW_RAWCC_PORTFOLD_HPP
+#define RAW_RAWCC_PORTFOLD_HPP
+
+/**
+ * @file
+ * Port-operand folding.
+ *
+ * The Raw prototype exports its communication ports "as extensions to
+ * the register set: they can be used like normal registers as
+ * operands to any computation instruction" (Section 3.1), which is
+ * why the paper's Figure 4 counts only two cycles of *effective*
+ * overhead for a four-cycle message — the send and receive slots do
+ * useful computation.
+ *
+ * This pass realizes that: in each tile stream it folds
+ *   RECV t ; op d, t, x      ->  op d, <port>, x
+ *   op t, a, b ; SEND t      ->  op <port>, a, b
+ * whenever the two instructions are adjacent and the intermediate
+ * value has no other use.  Adjacency guarantees that per-port
+ * pop/push order — the property the static ordering argument depends
+ * on — is unchanged.
+ */
+
+#include "rawcc/orchestrater.hpp"
+
+namespace raw {
+
+/** Fold port operands across @p vp; returns #instructions removed. */
+int fold_port_operands(VirtualProgram &vp, const Function &fn);
+
+} // namespace raw
+
+#endif // RAW_RAWCC_PORTFOLD_HPP

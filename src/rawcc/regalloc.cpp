@@ -1,0 +1,230 @@
+#include "rawcc/regalloc.hpp"
+
+#include <algorithm>
+#include <map>
+#include <unordered_map>
+
+#include "support/error.hpp"
+
+namespace raw {
+
+namespace {
+
+struct Interval
+{
+    ValueId value;
+    int start;
+    int end;
+};
+
+} // namespace
+
+RegallocResult
+allocate_registers(const Function &fn,
+                   const std::vector<std::vector<VInstr>> &blocks,
+                   const std::vector<ValueId> &persistent, int num_regs)
+{
+    check(num_regs >= 8, "regalloc: too few registers");
+    const int s0 = num_regs - 3, s1 = num_regs - 2, s2 = num_regs - 1;
+    const int pool_size = num_regs - 3;
+
+    RegallocResult out;
+    out.blocks.resize(blocks.size());
+
+    // ---- Persistent assignment by use count. ---------------------
+    std::unordered_map<ValueId, int64_t> use_count;
+    for (ValueId v : persistent)
+        use_count[v] = 0;
+    for (const auto &blk : blocks) {
+        for (const VInstr &in : blk) {
+            for (ValueId s : in.src)
+                if (s != kNoValue && use_count.count(s))
+                    use_count[s]++;
+            if (in.dst != kNoValue && use_count.count(in.dst))
+                use_count[in.dst]++;
+        }
+    }
+    std::vector<ValueId> pers_sorted = persistent;
+    std::sort(pers_sorted.begin(), pers_sorted.end(),
+              [&](ValueId a, ValueId b) {
+                  if (use_count[a] != use_count[b])
+                      return use_count[a] > use_count[b];
+                  return a < b;
+              });
+    // Keep at least 8 pool registers for temporaries.
+    int max_pers = pool_size > 16 ? pool_size - 8 : pool_size / 2;
+    std::unordered_map<ValueId, int> pers_reg;   // value -> phys
+    std::unordered_map<ValueId, int> mem_slot;   // value -> spill slot
+    int next_slot = 0;
+    for (size_t i = 0; i < pers_sorted.size(); i++) {
+        if (static_cast<int>(i) < max_pers)
+            pers_reg[pers_sorted[i]] = static_cast<int>(i);
+        else
+            mem_slot[pers_sorted[i]] = next_slot++;
+    }
+    const int temp_base = std::min<int>(
+        static_cast<int>(pers_sorted.size()), max_pers);
+    const int n_temp_regs = pool_size - temp_base;
+    check(n_temp_regs >= 1, "regalloc: no temp registers left");
+
+    // ---- Per-block temporaries. ----------------------------------
+    for (size_t b = 0; b < blocks.size(); b++) {
+        const std::vector<VInstr> &code = blocks[b];
+
+        std::unordered_map<ValueId, Interval> ivals;
+        auto touch = [&](ValueId v, int pos) {
+            if (v == kNoValue || v == kPortOperand ||
+                pers_reg.count(v) || mem_slot.count(v))
+                return;
+            if (fn.values[v].is_var && use_count.count(v))
+                return; // persistent handled above
+            auto it = ivals.find(v);
+            if (it == ivals.end())
+                ivals[v] = {v, pos, pos};
+            else
+                it->second.end = pos;
+        };
+        for (size_t k = 0; k < code.size(); k++) {
+            const VInstr &in = code[k];
+            touch(in.src[0], static_cast<int>(k));
+            touch(in.src[1], static_cast<int>(k));
+            touch(in.dst, static_cast<int>(k));
+        }
+
+        std::vector<Interval> order;
+        order.reserve(ivals.size());
+        for (auto &kv : ivals)
+            order.push_back(kv.second);
+        std::sort(order.begin(), order.end(),
+                  [](const Interval &a, const Interval &b) {
+                      if (a.start != b.start)
+                          return a.start < b.start;
+                      return a.value < b.value;
+                  });
+
+        // Linear scan with furthest-end spilling.
+        std::unordered_map<ValueId, int> temp_reg;
+        std::unordered_map<ValueId, int> temp_slot;
+        std::vector<int> free_regs;
+        for (int r = n_temp_regs; r-- > 0;)
+            free_regs.push_back(temp_base + r);
+        // Active intervals sorted by end.
+        std::multimap<int, ValueId> active;
+        for (const Interval &iv : order) {
+            while (!active.empty() &&
+                   active.begin()->first < iv.start) {
+                free_regs.push_back(temp_reg[active.begin()->second]);
+                active.erase(active.begin());
+            }
+            if (!free_regs.empty()) {
+                temp_reg[iv.value] = free_regs.back();
+                free_regs.pop_back();
+                active.insert({iv.end, iv.value});
+                continue;
+            }
+            // Spill the interval with the furthest end.
+            auto victim = std::prev(active.end());
+            if (victim->first > iv.end) {
+                ValueId vv = victim->second;
+                temp_reg[iv.value] = temp_reg[vv];
+                temp_reg.erase(vv);
+                if (!temp_slot.count(vv))
+                    temp_slot[vv] = next_slot++;
+                active.erase(victim);
+                active.insert({iv.end, iv.value});
+            } else {
+                if (!temp_slot.count(iv.value))
+                    temp_slot[iv.value] = next_slot++;
+            }
+        }
+
+        // ---- Rewrite. --------------------------------------------
+        std::vector<PInstr> &dst_code = out.blocks[b];
+        auto emit_spill_load = [&](int slot, int scratch, Type ty) {
+            PInstr l;
+            l.op = Op::kLoad;
+            l.type = ty;
+            l.dst = scratch;
+            l.array = kSpillArray;
+            l.imm = static_cast<uint32_t>(slot);
+            dst_code.push_back(l);
+            out.spill_ops++;
+        };
+        auto emit_spill_store = [&](int slot, int scratch, Type ty) {
+            PInstr st;
+            st.op = Op::kStore;
+            st.type = ty;
+            st.src[1] = scratch;
+            st.array = kSpillArray;
+            st.imm = static_cast<uint32_t>(slot);
+            dst_code.push_back(st);
+            out.spill_ops++;
+        };
+        auto src_reg = [&](ValueId v, int scratch) -> int {
+            if (v == kNoValue)
+                return -1;
+            if (v == kPortOperand)
+                return kPortOperand;
+            auto pr = pers_reg.find(v);
+            if (pr != pers_reg.end())
+                return pr->second;
+            auto pm = mem_slot.find(v);
+            if (pm != mem_slot.end()) {
+                emit_spill_load(pm->second, scratch,
+                                fn.values[v].type);
+                return scratch;
+            }
+            auto tr = temp_reg.find(v);
+            if (tr != temp_reg.end())
+                return tr->second;
+            auto ts = temp_slot.find(v);
+            check(ts != temp_slot.end(),
+                  "regalloc: use of unallocated value");
+            emit_spill_load(ts->second, scratch, fn.values[v].type);
+            return scratch;
+        };
+
+        for (const VInstr &in : code) {
+            PInstr p;
+            p.op = in.op;
+            p.type = in.type;
+            p.imm = in.imm;
+            p.array = in.array;
+            p.print_seq = in.print_seq;
+            p.target = in.target_block;
+            p.src[0] = src_reg(in.src[0], s0);
+            p.src[1] = src_reg(in.src[1], s1);
+
+            ValueId d = in.dst;
+            int store_slot = -1;
+            Type store_type = Type::kI32;
+            if (d == kNoValue) {
+                p.dst = -1;
+            } else if (d == kPortOperand) {
+                p.dst = kPortOperand;
+            } else if (pers_reg.count(d)) {
+                p.dst = pers_reg[d];
+            } else if (mem_slot.count(d)) {
+                p.dst = s2;
+                store_slot = mem_slot[d];
+                store_type = fn.values[d].type;
+            } else if (temp_reg.count(d)) {
+                p.dst = temp_reg[d];
+            } else {
+                check(temp_slot.count(d) > 0,
+                      "regalloc: def of unallocated value");
+                p.dst = s2;
+                store_slot = temp_slot[d];
+                store_type = fn.values[d].type;
+            }
+            dst_code.push_back(p);
+            if (store_slot >= 0)
+                emit_spill_store(store_slot, s2, store_type);
+        }
+    }
+
+    out.spill_slots = next_slot;
+    return out;
+}
+
+} // namespace raw

@@ -1,0 +1,363 @@
+#include "schedule/event_scheduler.hpp"
+
+#include <algorithm>
+#include <map>
+#include <queue>
+
+#include "support/error.hpp"
+
+namespace raw {
+
+namespace {
+
+/** Per-switch, per-cycle reservation state. */
+struct SwRes
+{
+    uint8_t in_used = 0;  // bitmask over Dir
+    uint8_t out_used = 0; // bitmask over Dir
+    bool reg_used = false;
+};
+
+/** Priorities: level (critical path) and clamped fertility. */
+struct Priorities
+{
+    std::vector<int64_t> level;
+    std::vector<int64_t> fert;
+};
+
+Priorities
+compute_priorities(const TaskGraph &g, const Partition &part,
+                   const MachineConfig &m)
+{
+    const int n = static_cast<int>(g.nodes().size());
+    Priorities pr;
+    pr.level.assign(n, 0);
+    pr.fert.assign(n, 0);
+
+    // Topological order.
+    std::vector<int> indeg(n, 0), order;
+    order.reserve(n);
+    std::queue<int> q;
+    for (int i = 0; i < n; i++) {
+        indeg[i] = static_cast<int>(g.preds(i).size());
+        if (indeg[i] == 0)
+            q.push(i);
+    }
+    while (!q.empty()) {
+        int v = q.front();
+        q.pop();
+        order.push_back(v);
+        for (int s : g.succs(v))
+            if (--indeg[s] == 0)
+                q.push(s);
+    }
+    check(static_cast<int>(order.size()) == n,
+          "scheduler: task graph has a cycle");
+
+    constexpr int64_t kFertCap = 1000000;
+    for (int k = n; k-- > 0;) {
+        int v = order[k];
+        int64_t lvl = 0, fert = 0;
+        for (int e : g.out_edges(v)) {
+            const TGEdge &edge = g.edges()[e];
+            int s = edge.to;
+            int64_t comm = 0;
+            if (part.tile_of[v] != part.tile_of[s] &&
+                edge.kind != DepKind::kAnti)
+                comm = 2 + m.distance(part.tile_of[v],
+                                      part.tile_of[s]);
+            lvl = std::max(lvl, comm + pr.level[s]);
+            fert = std::min(kFertCap, fert + 1 + pr.fert[s]);
+        }
+        pr.level[v] = g.nodes()[v].cost + lvl;
+        pr.fert[v] = fert;
+    }
+    return pr;
+}
+
+} // namespace
+
+BlockSchedule
+schedule_block(const TaskGraph &g, const Partition &part,
+               const MachineConfig &m,
+               const std::vector<CommPath> &paths,
+               const SchedOptions &opts)
+{
+    const int nn = static_cast<int>(g.nodes().size());
+    const int np = static_cast<int>(paths.size());
+
+    BlockSchedule out;
+    out.tiles.assign(m.n_tiles, {});
+    out.switches.assign(m.n_tiles, {});
+
+    std::vector<RouteTree> trees;
+    trees.reserve(np);
+    for (const CommPath &p : paths)
+        trees.push_back(build_route_tree(m, p));
+
+    // node -> list of paths it sources (usually <= 2: data + bcast).
+    std::vector<std::vector<int>> paths_of_node(nn);
+    for (int p = 0; p < np; p++)
+        paths_of_node[paths[p].src_node].push_back(p);
+    // For dependence purposes the non-broadcast path carries values.
+    std::vector<int> data_path_of_node(nn, -1);
+    for (int p = 0; p < np; p++)
+        if (!paths[p].broadcast)
+            data_path_of_node[paths[p].src_node] = p;
+
+    Priorities pr = compute_priorities(g, part, m);
+    auto prio = [&](int v) {
+        return pr.level[v] * opts.level_weight +
+               pr.fert[v] * opts.fertility_weight;
+    };
+
+    // ---- Dependence bookkeeping. ---------------------------------
+    // Each node waits on a mix of node-deps and path-deps.
+    std::vector<int> deps_left(nn, 0);
+    std::vector<std::vector<int>> node_waiters(nn);  // p -> nodes
+    std::vector<std::vector<int>> path_waiters(np);  // path -> nodes
+
+    std::vector<std::vector<int>> in_edges(nn);
+    for (int e = 0; e < static_cast<int>(g.edges().size()); e++)
+        in_edges[g.edges()[e].to].push_back(e);
+
+    for (int e = 0; e < static_cast<int>(g.edges().size()); e++) {
+        const TGEdge &edge = g.edges()[e];
+        int p = edge.from, v = edge.to;
+        bool same = part.tile_of[p] == part.tile_of[v];
+        if (edge.kind == DepKind::kAnti) {
+            if (!same)
+                continue;
+            // Same-tile anti-dep: wait for the node; if the producer
+            // is an import with fan-out paths, also wait for those
+            // paths (their sends read the register being overwritten).
+            node_waiters[p].push_back(v);
+            deps_left[v]++;
+            if (g.nodes()[p].kind == TGKind::kImport) {
+                for (int pp : paths_of_node[p]) {
+                    path_waiters[pp].push_back(v);
+                    deps_left[v]++;
+                }
+            }
+            continue;
+        }
+        if (same) {
+            node_waiters[p].push_back(v);
+            deps_left[v]++;
+        } else {
+            int path = data_path_of_node[p];
+            check(path >= 0, "scheduler: cross-tile edge without path");
+            path_waiters[path].push_back(v);
+            deps_left[v]++;
+        }
+    }
+
+    // ---- Scheduling state. ---------------------------------------
+    std::vector<bool> node_done(nn, false), path_done(np, false);
+    std::vector<int64_t> finish(nn, 0), issue(nn, 0);
+    std::vector<int64_t> send_issue(np, 0);
+    std::vector<std::map<int, int64_t>> arrival(np); // path -> tile->recv
+
+    std::vector<std::vector<bool>> proc_busy(m.n_tiles);
+    std::vector<std::map<int64_t, SwRes>> sw_res(m.n_tiles);
+
+    auto proc_free = [&](int tile, int64_t t) {
+        auto &v = proc_busy[tile];
+        return t >= static_cast<int64_t>(v.size()) || !v[t];
+    };
+    auto proc_take = [&](int tile, int64_t t) {
+        auto &v = proc_busy[tile];
+        if (t >= static_cast<int64_t>(v.size()))
+            v.resize(t + 1, false);
+        check(!v[t], "scheduler: double-booked processor slot");
+        v[t] = true;
+    };
+
+    // Ready queue: (priority, tie-break, kind 0=node 1=path, id).
+    struct Task
+    {
+        int64_t prio;
+        int64_t seq;
+        int kind;
+        int id;
+        bool operator<(const Task &o) const
+        {
+            if (prio != o.prio)
+                return prio < o.prio;
+            if (seq != o.seq)
+                return seq > o.seq;
+            return id > o.id;
+        }
+    };
+    std::priority_queue<Task> ready;
+    int64_t seq = 0;
+    auto push_node = [&](int v) {
+        int64_t p = opts.fifo_priority ? -seq : prio(v);
+        ready.push({p, seq++, 0, v});
+    };
+    auto push_path = [&](int p) {
+        int64_t pp =
+            opts.fifo_priority ? -seq : prio(paths[p].src_node);
+        ready.push({pp, seq++, 1, p});
+    };
+
+    for (int v = 0; v < nn; v++)
+        if (deps_left[v] == 0)
+            push_node(v);
+
+    // Earliest start time of node v given its satisfied deps.
+    auto ready_time = [&](int v) {
+        int64_t t = 0;
+        for (int e : in_edges[v]) {
+            const TGEdge &edge = g.edges()[e];
+            int p = edge.from;
+            bool same = part.tile_of[p] == part.tile_of[v];
+            if (edge.kind == DepKind::kAnti) {
+                if (!same)
+                    continue;
+                t = std::max(t, issue[p] + 1);
+                if (g.nodes()[p].kind == TGKind::kImport)
+                    for (int pp : paths_of_node[p])
+                        t = std::max(t, send_issue[pp] + 1);
+                continue;
+            }
+            if (same) {
+                t = std::max(t, finish[p]);
+            } else {
+                int path = data_path_of_node[p];
+                auto it = arrival[path].find(part.tile_of[v]);
+                check(it != arrival[path].end(),
+                      "scheduler: missing arrival");
+                t = std::max(t, it->second + 1);
+            }
+        }
+        return t;
+    };
+
+    int scheduled = 0;
+    auto complete_node = [&](int v) {
+        node_done[v] = true;
+        scheduled++;
+        for (int p : paths_of_node[v])
+            push_path(p);
+        for (int w : node_waiters[v])
+            if (--deps_left[w] == 0)
+                push_node(w);
+    };
+
+    while (!ready.empty()) {
+        Task task = ready.top();
+        ready.pop();
+        if (task.kind == 0) {
+            int v = task.id;
+            const TGNode &nd = g.nodes()[v];
+            if (nd.kind == TGKind::kImport) {
+                issue[v] = 0;
+                finish[v] = 0;
+                complete_node(v);
+                continue;
+            }
+            int tile = part.tile_of[v];
+            int64_t t = ready_time(v);
+            while (!proc_free(tile, t))
+                t++;
+            proc_take(tile, t);
+            out.tiles[tile].push_back({t, TileItem::Kind::kCompute, v,
+                                       kNoValue, -1});
+            issue[v] = t;
+            finish[v] = t + std::max(1, nd.cost);
+            out.makespan = std::max(out.makespan, finish[v]);
+            complete_node(v);
+        } else {
+            int p = task.id;
+            const CommPath &path = paths[p];
+            const RouteTree &tree = trees[p];
+            int src_tile = path.src_tile;
+            int64_t r = std::max<int64_t>(finish[path.src_node], 0);
+
+            int64_t t = r;
+            for (;; t++) {
+                check(t < r + 2000000,
+                      "scheduler: no feasible slot for path");
+                if (!proc_free(src_tile, t))
+                    continue;
+                bool ok = true;
+                for (const TreeHop &h : tree.hops) {
+                    auto it = sw_res[h.tile].find(t + 1 + h.depth);
+                    if (it == sw_res[h.tile].end())
+                        continue;
+                    const SwRes &res = it->second;
+                    uint8_t in_bit = static_cast<uint8_t>(
+                        1u << static_cast<int>(h.in));
+                    if ((res.in_used & in_bit) ||
+                        (res.out_used & h.out_mask) ||
+                        (h.to_reg && res.reg_used)) {
+                        ok = false;
+                        break;
+                    }
+                }
+                if (ok) {
+                    for (auto &[tile, depth] : tree.proc_recvs) {
+                        if (!proc_free(tile, t + 2 + depth)) {
+                            ok = false;
+                            break;
+                        }
+                    }
+                }
+                if (ok)
+                    break;
+            }
+
+            // Commit.
+            proc_take(src_tile, t);
+            out.tiles[src_tile].push_back({t, TileItem::Kind::kSend,
+                                           path.src_node, path.value,
+                                           p});
+            for (const TreeHop &h : tree.hops) {
+                SwRes &res = sw_res[h.tile][t + 1 + h.depth];
+                res.in_used |= static_cast<uint8_t>(
+                    1u << static_cast<int>(h.in));
+                res.out_used |= h.out_mask;
+                res.reg_used = res.reg_used || h.to_reg;
+                out.switches[h.tile].push_back(
+                    {t + 1 + h.depth, h.in, h.out_mask, h.to_reg,
+                     path.value, p});
+                out.makespan =
+                    std::max(out.makespan, t + 2 + h.depth);
+            }
+            for (auto &[tile, depth] : tree.proc_recvs) {
+                int64_t rc = t + 2 + depth;
+                proc_take(tile, rc);
+                out.tiles[tile].push_back(
+                    {rc, TileItem::Kind::kRecv, -1, path.value, p});
+                arrival[p][tile] = rc;
+                out.makespan = std::max(out.makespan, rc + 1);
+            }
+            send_issue[p] = t;
+            path_done[p] = true;
+            for (int w : path_waiters[p])
+                if (--deps_left[w] == 0)
+                    push_node(w);
+        }
+    }
+
+    check(scheduled == nn, "scheduler: not all nodes scheduled");
+    for (int p = 0; p < np; p++)
+        check(path_done[p], "scheduler: not all paths scheduled");
+
+    for (auto &v : out.tiles)
+        std::sort(v.begin(), v.end(),
+                  [](const TileItem &a, const TileItem &b) {
+                      return a.cycle < b.cycle;
+                  });
+    for (auto &v : out.switches)
+        std::sort(v.begin(), v.end(),
+                  [](const SwitchItem &a, const SwitchItem &b) {
+                      if (a.cycle != b.cycle)
+                          return a.cycle < b.cycle;
+                      return a.path < b.path;
+                  });
+    return out;
+}
+
+} // namespace raw

@@ -1,0 +1,132 @@
+#include "sim/disasm.hpp"
+
+#include <sstream>
+
+namespace raw {
+
+std::string
+disasm_pinstr(const PInstr &in, const CompiledProgram &prog)
+{
+    std::ostringstream os;
+    auto reg = [](int r) {
+        if (r == kPortOperand)
+            return std::string("port");
+        return r < 0 ? std::string("_") : "r" + std::to_string(r);
+    };
+    switch (in.op) {
+      case Op::kConst:
+        os << reg(in.dst) << " = ";
+        if (in.type == Type::kI32)
+            os << bits_int(in.imm);
+        else
+            os << bits_float(in.imm) << "f";
+        return os.str();
+      case Op::kLoad:
+      case Op::kDynLoad:
+        if (in.array == kSpillArray)
+            os << reg(in.dst) << " = spill[" << in.imm << "]";
+        else
+            os << reg(in.dst) << " = " << op_name(in.op) << " "
+               << prog.arrays[in.array].name << "[" << reg(in.src[0])
+               << "]";
+        return os.str();
+      case Op::kStore:
+      case Op::kDynStore:
+        if (in.array == kSpillArray)
+            os << "spill[" << in.imm << "] = " << reg(in.src[1]);
+        else
+            os << op_name(in.op) << " " << prog.arrays[in.array].name
+               << "[" << reg(in.src[0]) << "] = " << reg(in.src[1]);
+        return os.str();
+      case Op::kSend:
+        os << "send " << (in.src[0] < 0 ? "0" : reg(in.src[0]));
+        return os.str();
+      case Op::kRecv:
+        os << reg(in.dst) << " = recv()";
+        return os.str();
+      case Op::kJump:
+        os << "jump " << in.target;
+        return os.str();
+      case Op::kBranch:
+        os << "bnez " << reg(in.src[0]) << ", " << in.target;
+        return os.str();
+      case Op::kHalt:
+        return "halt";
+      case Op::kPrint:
+        os << "print " << reg(in.src[0]) << " #" << in.print_seq;
+        return os.str();
+      default:
+        break;
+    }
+    if (op_has_dst(in.op))
+        os << reg(in.dst) << " = ";
+    os << op_name(in.op);
+    for (int s = 0; s < op_num_srcs(in.op); s++)
+        os << (s == 0 ? " " : ", ") << reg(in.src[s]);
+    return os.str();
+}
+
+std::string
+disasm_sinstr(const SInstr &in)
+{
+    std::ostringstream os;
+    switch (in.k) {
+      case SInstr::K::kRoute: {
+        os << "route";
+        bool first = true;
+        for (const RoutePair &r : in.routes) {
+            os << (first ? " " : "; ");
+            first = false;
+            os << dir_name(r.in) << "->";
+            for (int d = 0; d < kNumDirs; d++)
+                if (r.out_mask & (1u << d))
+                    os << dir_name(static_cast<Dir>(d));
+            if (r.reg_dst >= 0)
+                os << "$" << r.reg_dst;
+        }
+        return os.str();
+      }
+      case SInstr::K::kAlu:
+        if (in.op == Op::kConst)
+            os << "$" << in.dst << " = " << bits_int(in.imm);
+        else {
+            os << "$" << in.dst << " = " << op_name(in.op) << " $"
+               << in.a;
+            if (op_num_srcs(in.op) > 1)
+                os << ", $" << in.b;
+        }
+        return os.str();
+      case SInstr::K::kBnez:
+        os << "bnez $" << in.cond << ", " << in.target;
+        return os.str();
+      case SInstr::K::kJump:
+        os << "jump " << in.target;
+        return os.str();
+      case SInstr::K::kHalt:
+        return "halt";
+    }
+    return "?";
+}
+
+std::string
+disasm_program(const CompiledProgram &prog)
+{
+    std::ostringstream os;
+    for (int t = 0; t < prog.machine.n_tiles; t++) {
+        os << "=== tile " << t << " processor ("
+           << prog.tiles[t].code.size() << " instrs) ===\n";
+        for (size_t k = 0; k < prog.tiles[t].code.size(); k++)
+            os << "  " << k << ": "
+               << disasm_pinstr(prog.tiles[t].code[k], prog) << "\n";
+        if (!prog.switches[t].code.empty()) {
+            os << "=== tile " << t << " switch ("
+               << prog.switches[t].code.size() << " instrs) ===\n";
+            for (size_t k = 0; k < prog.switches[t].code.size(); k++)
+                os << "  " << k << ": "
+                   << disasm_sinstr(prog.switches[t].code[k]) << "\n";
+        }
+    }
+    return os.str();
+}
+
+} // namespace raw

@@ -1,0 +1,30 @@
+#ifndef RAW_SIM_DISASM_HPP
+#define RAW_SIM_DISASM_HPP
+
+/**
+ * @file
+ * Disassembler for compiled Raw programs: renders each tile's
+ * processor stream and each switch's route stream, used by the
+ * quickstart example (the paper's Figure 6 walk-through) and by
+ * debugging.
+ */
+
+#include <string>
+
+#include "sim/isa.hpp"
+
+namespace raw {
+
+/** Render one processor instruction. */
+std::string disasm_pinstr(const PInstr &in,
+                          const CompiledProgram &prog);
+
+/** Render one switch instruction. */
+std::string disasm_sinstr(const SInstr &in);
+
+/** Render the full program, tile by tile. */
+std::string disasm_program(const CompiledProgram &prog);
+
+} // namespace raw
+
+#endif // RAW_SIM_DISASM_HPP

@@ -1,0 +1,242 @@
+#include "sim/simulator.hpp"
+
+/**
+ * @file
+ * Dynamic wormhole network and remote-memory handler (Section 5.1).
+ *
+ * Messages are worms: a header word (destination, source, payload
+ * length, kind) followed by payload words, routed dimension-ordered
+ * one word per link per cycle with four-deep input buffering.  An
+ * output port belongs to one worm until its tail passes (wormhole
+ * allocation); free outputs arbitrate round-robin among waiting
+ * headers.  Requests and replies travel on separate planes, so the
+ * request-reply dependence cannot cycle through shared buffers —
+ * together with dimension-ordered routing this makes the network
+ * deadlock-free.
+ *
+ * A remote-memory handler at each tile services assembled requests
+ * one at a time (dyn_handler_cycles each), performs the local memory
+ * access, and injects the reply (value for loads, ack for stores).
+ */
+
+namespace raw {
+
+namespace {
+
+constexpr int kLocal = 4; // input/output index for inject/eject
+
+} // namespace
+
+uint32_t
+dyn_header(int dst, int src, int len, DynKind kind)
+{
+    return (static_cast<uint32_t>(dst) & 0x3FF) |
+           ((static_cast<uint32_t>(src) & 0x3FF) << 10) |
+           ((static_cast<uint32_t>(len) & 0xF) << 20) |
+           (static_cast<uint32_t>(kind) << 24);
+}
+
+int
+dyn_hdr_dst(uint32_t h)
+{
+    return static_cast<int>(h & 0x3FF);
+}
+
+int
+dyn_hdr_src(uint32_t h)
+{
+    return static_cast<int>((h >> 10) & 0x3FF);
+}
+
+int
+dyn_hdr_len(uint32_t h)
+{
+    return static_cast<int>((h >> 20) & 0xF);
+}
+
+DynKind
+dyn_hdr_kind(uint32_t h)
+{
+    return static_cast<DynKind>((h >> 24) & 0x3);
+}
+
+void
+DynPlane::init(int n_tiles)
+{
+    in_bufs.clear();
+    in_bufs.resize(n_tiles);
+    for (auto &bufs : in_bufs)
+        for (Fifo &f : bufs)
+            f = Fifo(4);
+    out_owner.assign(n_tiles, {-1, -1, -1, -1, -1});
+    out_remaining.assign(n_tiles, {0, 0, 0, 0, 0});
+    in_remaining.assign(n_tiles, {0, 0, 0, 0, 0});
+    rr.assign(n_tiles, {0, 0, 0, 0, 0});
+    eject.assign(n_tiles, {});
+}
+
+void
+DynPlane::begin_cycle()
+{
+    for (auto &bufs : in_bufs)
+        for (Fifo &f : bufs)
+            f.begin_cycle();
+}
+
+void
+Simulator::step_plane(DynPlane &plane, bool is_reply, int64_t now)
+{
+    const MachineConfig &m = prog_.machine;
+    const int n = m.n_tiles;
+
+    // Route one word per output port per tile per cycle.
+    for (int t = 0; t < n; t++) {
+        for (int out = 0; out < 5; out++) {
+            // Where does this output lead?
+            Fifo *target = nullptr;
+            if (out != kLocal) {
+                int nb = m.neighbor(t, static_cast<Dir>(out));
+                if (nb < 0)
+                    continue; // mesh edge
+                target =
+                    &plane.in_bufs[nb][static_cast<int>(opposite(
+                        static_cast<Dir>(out)))];
+            }
+
+            int owner = plane.out_owner[t][out];
+            if (owner < 0) {
+                // Arbitrate among inputs whose head word is a header
+                // that dimension-ordered routing sends this way.
+                for (int k = 0; k < 5 && owner < 0; k++) {
+                    int in = (plane.rr[t][out] + k) % 5;
+                    Fifo &src = plane.in_bufs[t][in];
+                    if (!src.can_pop() ||
+                        plane.in_remaining[t][in] > 0)
+                        continue;
+                    uint32_t h = src.front();
+                    int dst = dyn_hdr_dst(h);
+                    int want = dst == t
+                                   ? kLocal
+                                   : static_cast<int>(
+                                         m.next_hop(t, dst));
+                    if (want == out)
+                        owner = in;
+                }
+                if (owner < 0)
+                    continue;
+                // Claim the output for this worm.
+                Fifo &src = plane.in_bufs[t][owner];
+                uint32_t h = src.front();
+                if (out != kLocal && !target->can_push())
+                    continue; // try again next cycle
+                src.pop();
+                plane.out_owner[t][out] = owner;
+                plane.out_remaining[t][out] = dyn_hdr_len(h);
+                plane.in_remaining[t][owner] = dyn_hdr_len(h);
+                plane.rr[t][out] = (owner + 1) % 5;
+                if (out == kLocal)
+                    plane.eject[t].push_back(h);
+                else
+                    target->push(h);
+                if (plane.out_remaining[t][out] == 0) {
+                    plane.out_owner[t][out] = -1;
+                    if (out == kLocal) {
+                        deliver_dyn(t, plane.eject[t], now);
+                        plane.eject[t].clear();
+                    }
+                }
+                progress_ = true;
+                continue;
+            }
+
+            // Continue an owned worm: move one payload word.
+            Fifo &src = plane.in_bufs[t][owner];
+            if (!src.can_pop())
+                continue;
+            if (out != kLocal && !target->can_push())
+                continue;
+            uint32_t w = src.pop();
+            plane.in_remaining[t][owner]--;
+            plane.out_remaining[t][out]--;
+            if (out == kLocal)
+                plane.eject[t].push_back(w);
+            else
+                target->push(w);
+            if (plane.out_remaining[t][out] == 0) {
+                plane.out_owner[t][out] = -1;
+                if (out == kLocal) {
+                    deliver_dyn(t, plane.eject[t], now);
+                    plane.eject[t].clear();
+                }
+            }
+            progress_ = true;
+        }
+    }
+    (void)is_reply;
+}
+
+void
+Simulator::deliver_dyn(int tile, const std::vector<uint32_t> &msg,
+                       int64_t now)
+{
+    DynKind kind = dyn_hdr_kind(msg[0]);
+    if (kind == DynKind::kLoadReq || kind == DynKind::kStoreReq) {
+        dyn_[tile].inbox.push_back(msg);
+        return;
+    }
+    // Reply / ack for this tile's (single) outstanding request.
+    DynState &d = dyn_[tile];
+    check(!d.reply_ready, "dynamic network: reply overrun");
+    d.reply_ready = true;
+    d.reply_time = now + 1;
+    d.reply_value =
+        kind == DynKind::kLoadReply && msg.size() > 1 ? msg[1] : 0;
+}
+
+/**
+ * Remote-memory handler: drain the reply being injected, then service
+ * the next assembled request.
+ */
+void
+Simulator::step_dyn(int tile, int64_t now)
+{
+    DynState &d = dyn_[tile];
+
+    // Inject one pending reply word per cycle.
+    if (d.outbox_pos < d.outbox.size()) {
+        Fifo &local = reply_plane_.in_bufs[tile][4];
+        if (local.can_push()) {
+            local.push(d.outbox[d.outbox_pos++]);
+            progress_ = true;
+            if (d.outbox_pos == d.outbox.size()) {
+                d.outbox.clear();
+                d.outbox_pos = 0;
+            }
+        }
+        return; // one reply at a time keeps ordering simple
+    }
+
+    if (d.inbox.empty() || d.handler_free > now)
+        return;
+
+    const std::vector<uint32_t> &msg = d.inbox.front();
+    DynKind kind = dyn_hdr_kind(msg[0]);
+    int src = dyn_hdr_src(msg[0]);
+    int64_t gaddr = bits_int(msg[1]);
+    d.handler_free =
+        now + prog_.machine.dyn_handler_cycles + fault_extra();
+
+    if (kind == DynKind::kStoreReq) {
+        mem_.write_local(tile, mem_.local_of(gaddr), msg[2]);
+        d.outbox = {dyn_header(src, tile, 0, DynKind::kStoreAck)};
+    } else {
+        uint32_t v = mem_.read_local(tile, mem_.local_of(gaddr));
+        d.outbox = {dyn_header(src, tile, 1, DynKind::kLoadReply),
+                    v};
+    }
+    d.outbox_pos = 0;
+    d.inbox.pop_front();
+    progress_ = true;
+}
+
+} // namespace raw

@@ -1,0 +1,243 @@
+#include "sim/simulator.hpp"
+
+#include "ir/eval.hpp"
+
+namespace raw {
+
+void
+Simulator::step_proc(int tile, int64_t now)
+{
+    Proc &p = procs_[tile];
+    if (p.halted)
+        return;
+
+    const std::vector<PInstr> &code = prog_.tiles[tile].code;
+    check(p.pc >= 0 && p.pc < static_cast<int64_t>(code.size()),
+          "processor ran off the end of its stream");
+    const PInstr &in = code[p.pc];
+
+    // Outstanding dynamic-network request: pump the remaining
+    // request words into the network, then wait for the reply.
+    if (p.waiting_dyn) {
+        if (p.inject_pos < p.inject.size()) {
+            Fifo &local = req_plane_.in_bufs[tile][4];
+            if (local.can_push()) {
+                local.push(p.inject[p.inject_pos++]);
+                progress_ = true;
+                if (p.inject_pos == p.inject.size()) {
+                    p.inject.clear();
+                    p.inject_pos = 0;
+                }
+            } else {
+                stats_.proc_stall_cycles++;
+            }
+            return;
+        }
+        DynState &d = dyn_[tile];
+        if (d.reply_ready && d.reply_time <= now) {
+            if (in.op == Op::kDynLoad && in.dst >= 0) {
+                p.regs[in.dst] = d.reply_value;
+                p.busy[in.dst] = now + 1;
+            }
+            d.reply_ready = false;
+            p.waiting_dyn = false;
+            p.pc++;
+            stats_.instrs_executed++;
+            progress_ = true;
+        } else {
+            stats_.proc_stall_cycles++;
+        }
+        return;
+    }
+
+    auto ready = [&](int r) {
+        if (r == kPortOperand)
+            return s2p_[tile].can_pop();
+        return r < 0 || p.busy[r] <= now;
+    };
+    // Read a source operand; a port operand consumes the word (only
+    // call once per operand, after every readiness check passed).
+    auto read_src = [&](int r) -> uint32_t {
+        if (r == kPortOperand)
+            return s2p_[tile].pop();
+        return r >= 0 ? p.regs[r] : 0;
+    };
+    auto stall = [&] { stats_.proc_stall_cycles++; };
+    auto done = [&] {
+        p.pc++;
+        stats_.instrs_executed++;
+        progress_ = true;
+    };
+
+    switch (in.op) {
+      case Op::kConst:
+        if (in.dst == kPortOperand) {
+            if (!p2s_[tile].can_push())
+                return stall();
+            p2s_[tile].push(in.imm);
+        } else {
+            p.regs[in.dst] = in.imm;
+            p.busy[in.dst] = now + 1;
+        }
+        done();
+        return;
+
+      case Op::kSend: {
+        if (!ready(in.src[0]))
+            return stall();
+        if (!p2s_[tile].can_push())
+            return stall();
+        uint32_t v = in.src[0] >= 0 ? p.regs[in.src[0]] : 0;
+        p2s_[tile].push(v);
+        done();
+        return;
+      }
+
+      case Op::kRecv: {
+        if (!s2p_[tile].can_pop())
+            return stall();
+        uint32_t v = s2p_[tile].pop();
+        if (in.dst >= 0) {
+            p.regs[in.dst] = v;
+            p.busy[in.dst] = now + 1;
+        }
+        done();
+        return;
+      }
+
+      case Op::kLoad: {
+        if (!ready(in.src[0]))
+            return stall();
+        int64_t lat = prog_.machine.latency(FuOp::kLoad) +
+                      fault_extra();
+        uint32_t v;
+        if (in.array == kSpillArray) {
+            v = mem_.read_spill(tile, static_cast<int64_t>(in.imm));
+        } else {
+            int64_t g = prog_.arrays[in.array].base +
+                        bits_int(p.regs[in.src[0]]);
+            check(mem_.home_of(g) == tile,
+                  "static load executed away from its home tile");
+            v = mem_.read_local(tile, mem_.local_of(g));
+        }
+        p.regs[in.dst] = v;
+        p.busy[in.dst] = now + lat;
+        done();
+        return;
+      }
+
+      case Op::kStore: {
+        if (!ready(in.src[0]) || !ready(in.src[1]))
+            return stall();
+        uint32_t v = read_src(in.src[1]);
+        if (in.array == kSpillArray) {
+            mem_.write_spill(tile, static_cast<int64_t>(in.imm), v);
+        } else {
+            int64_t g = prog_.arrays[in.array].base +
+                        bits_int(p.regs[in.src[0]]);
+            check(mem_.home_of(g) == tile,
+                  "static store executed away from its home tile");
+            mem_.write_local(tile, mem_.local_of(g), v);
+        }
+        done();
+        return;
+      }
+
+      case Op::kDynLoad:
+      case Op::kDynStore: {
+        bool is_store = in.op == Op::kDynStore;
+        if (!ready(in.src[0]) || (is_store && !ready(in.src[1])))
+            return stall();
+        int64_t g = prog_.arrays[in.array].base +
+                    bits_int(p.regs[in.src[0]]);
+        int home = mem_.home_of(g);
+        if (home == tile) {
+            // Run-time check found the data local after all.
+            if (is_store) {
+                mem_.write_local(tile, mem_.local_of(g),
+                                 p.regs[in.src[1]]);
+            } else {
+                p.regs[in.dst] =
+                    mem_.read_local(tile, mem_.local_of(g));
+                p.busy[in.dst] = now + 1 +
+                                 prog_.machine.latency(FuOp::kLoad) +
+                                 fault_extra();
+            }
+            done();
+            return;
+        }
+        // Compose the request worm; the pump above injects it one
+        // word per cycle starting next cycle.
+        uint32_t addr_word = int_bits(static_cast<int32_t>(g));
+        if (is_store)
+            p.inject = {dyn_header(home, tile, 2, DynKind::kStoreReq),
+                        addr_word, p.regs[in.src[1]]};
+        else
+            p.inject = {dyn_header(home, tile, 1, DynKind::kLoadReq),
+                        addr_word};
+        p.inject_pos = 0;
+        stats_.dyn_messages++;
+        p.waiting_dyn = true;
+        progress_ = true;
+        return;
+      }
+
+      case Op::kPrint: {
+        if (!ready(in.src[0]))
+            return stall();
+        stats_.prints.push_back({in.print_seq,
+                                 print_count_[in.print_seq]++,
+                                 in.type, read_src(in.src[0])});
+        done();
+        return;
+      }
+
+      case Op::kJump:
+        p.pc = in.target;
+        stats_.instrs_executed++;
+        progress_ = true;
+        return;
+
+      case Op::kBranch: {
+        if (!ready(in.src[0]))
+            return stall();
+        p.pc = p.regs[in.src[0]] != 0 ? in.target : p.pc + 1;
+        stats_.instrs_executed++;
+        progress_ = true;
+        return;
+      }
+
+      case Op::kHalt:
+        p.halted = true;
+        progress_ = true;
+        return;
+
+      default: {
+        // Computational instruction; sources and destination may be
+        // port operands (Section 3.1's port-as-register model).
+        for (int s = 0; s < op_num_srcs(in.op); s++)
+            if (!ready(in.src[s]))
+                return stall();
+        if (in.dst == kPortOperand && !p2s_[tile].can_push())
+            return stall();
+        uint32_t a =
+            op_num_srcs(in.op) > 0 ? read_src(in.src[0]) : 0;
+        uint32_t b =
+            op_num_srcs(in.op) > 1 ? read_src(in.src[1]) : 0;
+        uint32_t out = 0;
+        check(eval_op(in.op, a, b, out),
+              "processor: unexecutable opcode");
+        if (in.dst == kPortOperand) {
+            p2s_[tile].push(out);
+        } else {
+            p.regs[in.dst] = out;
+            p.busy[in.dst] =
+                now + prog_.machine.latency(op_fu(in.op));
+        }
+        done();
+        return;
+      }
+    }
+}
+
+} // namespace raw

@@ -1,0 +1,178 @@
+#include "sim/simulator.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+namespace raw {
+
+std::string
+SimResult::print_text() const
+{
+    std::ostringstream os;
+    for (const PrintRecord &p : prints) {
+        if (p.type == Type::kI32)
+            os << bits_int(p.bits) << "\n";
+        else
+            os << bits_float(p.bits) << "\n";
+    }
+    return os.str();
+}
+
+Simulator::Simulator(const CompiledProgram &prog, FaultConfig faults)
+    : prog_(prog),
+      mem_(prog.machine.n_tiles, prog.total_words, prog.spill_slots),
+      faults_(faults), rng_(faults.seed * 0x9E3779B97F4A7C15ULL + 1)
+{
+    const int n = prog_.machine.n_tiles;
+    check(static_cast<int>(prog_.tiles.size()) == n &&
+              static_cast<int>(prog_.switches.size()) == n,
+          "simulator: program does not match machine size");
+    procs_.resize(n);
+    switches_.resize(n);
+    dyn_.resize(n);
+    for (int t = 0; t < n; t++) {
+        // Size register files by what the program actually touches so
+        // inf-reg configurations stay cheap to simulate.
+        int max_reg = prog_.machine.num_registers;
+        if (max_reg > 256) {
+            int used = 31;
+            for (const PInstr &in : prog_.tiles[t].code) {
+                used = std::max(used, in.dst);
+                used = std::max(used, in.src[0]);
+                used = std::max(used, in.src[1]);
+            }
+            max_reg = used + 1;
+        }
+        procs_[t].regs.assign(max_reg, 0);
+        procs_[t].busy.assign(max_reg, 0);
+        switches_[t].regs.assign(prog_.machine.num_switch_registers, 0);
+        if (prog_.tiles[t].code.empty())
+            procs_[t].halted = true;
+        if (prog_.switches[t].code.empty())
+            switches_[t].halted = true;
+    }
+    // Size the trace-ordering counters by the largest print tag in
+    // the program (hand-assembled programs may not set num_prints).
+    int max_seq = prog_.num_prints - 1;
+    for (const TileProgram &t : prog_.tiles)
+        for (const PInstr &in : t.code)
+            max_seq = std::max(max_seq, in.print_seq);
+    print_count_.assign(max_seq + 2, 0);
+    p2s_.assign(n, Fifo());
+    s2p_.assign(n, Fifo());
+    links_.assign(n, std::vector<Fifo>(4, Fifo()));
+    req_plane_.init(n);
+    reply_plane_.init(n);
+}
+
+Fifo &
+Simulator::out_link(int tile, Dir d)
+{
+    return links_[tile][static_cast<int>(d)];
+}
+
+Fifo &
+Simulator::in_link(int tile, Dir d)
+{
+    int nb = prog_.machine.neighbor(tile, d);
+    check(nb >= 0, "simulator: route reads off-mesh port");
+    return links_[nb][static_cast<int>(opposite(d))];
+}
+
+int
+Simulator::fault_extra()
+{
+    if (faults_.miss_rate <= 0.0)
+        return 0;
+    // xorshift64* deterministic stream.
+    rng_ ^= rng_ >> 12;
+    rng_ ^= rng_ << 25;
+    rng_ ^= rng_ >> 27;
+    uint64_t r = rng_ * 0x2545F4914F6CDD1DULL;
+    double u = static_cast<double>(r >> 11) / 9007199254740992.0;
+    return u < faults_.miss_rate ? faults_.penalty : 0;
+}
+
+SimResult
+Simulator::run(int64_t max_cycles)
+{
+    const int n = prog_.machine.n_tiles;
+    int64_t now = 0;
+    int64_t last_progress = 0;
+    const int64_t stall_limit = 100000;
+
+    auto all_done = [&] {
+        for (int t = 0; t < n; t++) {
+            if (!procs_[t].halted || !switches_[t].halted)
+                return false;
+            if (!dyn_[t].inbox.empty() || !dyn_[t].outbox.empty())
+                return false;
+        }
+        return true;
+    };
+
+    while (!all_done()) {
+        check(now < max_cycles, "simulator: cycle limit exceeded");
+        progress_ = false;
+
+        for (Fifo &f : p2s_)
+            f.begin_cycle();
+        for (Fifo &f : s2p_)
+            f.begin_cycle();
+        for (auto &v : links_)
+            for (Fifo &f : v)
+                f.begin_cycle();
+        req_plane_.begin_cycle();
+        reply_plane_.begin_cycle();
+
+        for (int t = 0; t < n; t++)
+            step_switch(t, now);
+        for (int t = 0; t < n; t++)
+            step_proc(t, now);
+        step_plane(req_plane_, false, now);
+        step_plane(reply_plane_, true, now);
+        for (int t = 0; t < n; t++)
+            step_dyn(t, now);
+
+        if (progress_)
+            last_progress = now;
+        if (now - last_progress > stall_limit) {
+            std::ostringstream os;
+            os << "deadlock: no progress for " << stall_limit
+               << " cycles at cycle " << now << "; ";
+            for (int t = 0; t < n; t++) {
+                if (!procs_[t].halted)
+                    os << "proc" << t << "@pc" << procs_[t].pc << " ";
+                if (!switches_[t].halted)
+                    os << "sw" << t << "@pc" << switches_[t].pc << " ";
+            }
+            throw DeadlockError(os.str());
+        }
+        now++;
+    }
+
+    stats_.cycles = now;
+    // Program order across loop iterations: iteration-k prints come
+    // before iteration-k+1 prints, program points break ties.
+    std::sort(stats_.prints.begin(), stats_.prints.end(),
+              [](const PrintRecord &a, const PrintRecord &b) {
+                  if (a.occurrence != b.occurrence)
+                      return a.occurrence < b.occurrence;
+                  return a.seq < b.seq;
+              });
+    return stats_;
+}
+
+std::vector<uint32_t>
+Simulator::read_array(const std::string &name) const
+{
+    int a = prog_.find_array(name);
+    check(a >= 0, "simulator: unknown array " + name);
+    const ArrayLayout &al = prog_.arrays[a];
+    std::vector<uint32_t> out(al.size);
+    for (int64_t i = 0; i < al.size; i++)
+        out[i] = mem_.read_global(al.base + i);
+    return out;
+}
+
+} // namespace raw

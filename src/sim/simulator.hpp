@@ -1,0 +1,259 @@
+#ifndef RAW_SIM_SIMULATOR_HPP
+#define RAW_SIM_SIMULATOR_HPP
+
+/**
+ * @file
+ * Instruction-level simulator of the Raw prototype (Section 3.1).
+ *
+ * Cycle-driven model of N tiles.  Each tile has:
+ *  - an in-order, scoreboarded processor executing its TileProgram
+ *    with Table 1 latencies (fully pipelined FUs: one issue per cycle,
+ *    results ready after the op latency);
+ *  - a static switch executing its SwitchProgram; a ROUTE instruction
+ *    fires only when every input word is present and every output
+ *    port has space (blocking semantics = near-neighbor flow control);
+ *  - single-reader/single-writer port FIFOs between processor and
+ *    switch and between neighboring switches (one-cycle hop);
+ *  - a dynamic-network interface with a remote-memory handler
+ *    (Section 5.1): wormhole routing is abstracted to a
+ *    distance-proportional delivery latency plus serialized handler
+ *    occupancy (a documented substitution — see DESIGN.md).
+ *
+ * A FaultConfig injects random extra memory latency to model dynamic
+ * events (cache misses); by the static ordering property (Appendix A)
+ * results must not change, which the test suite verifies.
+ *
+ * Global-stall detection reports deadlock instead of hanging.
+ */
+
+#include <cstdint>
+#include <array>
+#include <deque>
+#include <string>
+#include <vector>
+
+#include "sim/isa.hpp"
+#include "sim/memory.hpp"
+
+namespace raw {
+
+/** A bounded port FIFO with one-cycle visibility (pipelined hop). */
+class Fifo
+{
+  public:
+    explicit Fifo(int cap = 2) : cap_(cap) {}
+
+    /** Latch this cycle's visibility snapshot. */
+    void
+    begin_cycle()
+    {
+        avail_ = static_cast<int>(q_.size());
+        space_ = cap_ - avail_;
+    }
+    bool can_pop() const { return avail_ > 0; }
+    uint32_t
+    pop()
+    {
+        avail_--;
+        uint32_t v = q_.front();
+        q_.pop_front();
+        return v;
+    }
+    /** Peek without consuming (multicast routes replicate the word). */
+    uint32_t front() const { return q_.front(); }
+    bool can_push() const { return space_ > 0; }
+    void
+    push(uint32_t v)
+    {
+        space_--;
+        q_.push_back(v);
+    }
+    bool empty() const { return q_.empty(); }
+
+  private:
+    std::deque<uint32_t> q_;
+    int cap_;
+    int avail_ = 0;
+    int space_ = 0;
+};
+
+/** Dynamic-event (cache-miss) injection configuration. */
+struct FaultConfig
+{
+    /** Probability a memory access takes extra latency. */
+    double miss_rate = 0.0;
+    /** Extra cycles per injected miss. */
+    int penalty = 20;
+    /** RNG seed (deterministic per run). */
+    uint64_t seed = 0;
+};
+
+/** One kPrint record. */
+struct PrintRecord
+{
+    /** Program point (static print index). */
+    int seq = 0;
+    /** Dynamic occurrence count of this program point (iterations). */
+    int occurrence = 0;
+    Type type = Type::kI32;
+    uint32_t bits = 0;
+};
+
+/** Aggregate statistics of a simulation run. */
+struct SimResult
+{
+    int64_t cycles = 0;
+    int64_t instrs_executed = 0;
+    int64_t switch_instrs_executed = 0;
+    int64_t words_routed = 0;
+    int64_t dyn_messages = 0;
+    int64_t proc_stall_cycles = 0;
+    std::vector<PrintRecord> prints; // sorted by seq
+
+    /** Render the print trace, one value per line. */
+    std::string print_text() const;
+};
+
+/** Thrown when the machine globally stalls. */
+class DeadlockError : public FatalError
+{
+  public:
+    explicit DeadlockError(const std::string &msg) : FatalError(msg) {}
+};
+
+/** Dynamic-network message kinds (encoded in the header word). */
+enum class DynKind : uint8_t {
+    kLoadReq = 0,
+    kStoreReq = 1,
+    kLoadReply = 2,
+    kStoreAck = 3,
+};
+
+/** Header word layout: dst(10) | src(10) | len(4) | kind(2). */
+uint32_t dyn_header(int dst, int src, int len, DynKind kind);
+int dyn_hdr_dst(uint32_t h);
+int dyn_hdr_src(uint32_t h);
+int dyn_hdr_len(uint32_t h);
+DynKind dyn_hdr_kind(uint32_t h);
+
+/**
+ * One plane of the dynamic wormhole network.  Each tile has five
+ * input buffers (four neighbors + local injection) and five outputs
+ * (four neighbors + local ejection).  Packets are worms: a header
+ * word followed by payload words; an output port is owned by one
+ * input until the tail passes.  Requests and replies travel on
+ * separate planes so the request-reply protocol cannot deadlock.
+ */
+struct DynPlane
+{
+    /** Input buffers, indexed [tile][dir]; dir 4 = local inject. */
+    std::vector<std::array<Fifo, 5>> in_bufs;
+    /** Owning input of each output (-1 free); output 4 = eject. */
+    std::vector<std::array<int, 5>> out_owner;
+    /** Payload words still to pass on each owned output. */
+    std::vector<std::array<int, 5>> out_remaining;
+    /** Payload words still to arrive on each input (mid-packet). */
+    std::vector<std::array<int, 5>> in_remaining;
+    /** Round-robin arbitration pointer per output. */
+    std::vector<std::array<int, 5>> rr;
+    /** Partially ejected message per tile. */
+    std::vector<std::vector<uint32_t>> eject;
+
+    void init(int n_tiles);
+    void begin_cycle();
+};
+
+/** The whole-machine simulator. */
+class Simulator
+{
+  public:
+    explicit Simulator(const CompiledProgram &prog,
+                       FaultConfig faults = {});
+
+    /** Run to completion; throws DeadlockError on global stall. */
+    SimResult run(int64_t max_cycles = 2000000000LL);
+
+    /** Final memory contents of a named array. */
+    std::vector<uint32_t> read_array(const std::string &name) const;
+
+    const MemorySystem &memory() const { return mem_; }
+
+  private:
+    friend struct ProcStepper;
+    friend struct SwitchStepper;
+    friend struct DynStepper;
+
+    // Processor state per tile.
+    struct Proc
+    {
+        int64_t pc = 0;
+        bool halted = false;
+        bool waiting_dyn = false;
+        /** Request words still to inject into the request plane. */
+        std::vector<uint32_t> inject;
+        size_t inject_pos = 0;
+        std::vector<uint32_t> regs;
+        std::vector<int64_t> busy; // per-register ready cycle
+    };
+    // Switch state per tile.
+    struct Sw
+    {
+        int64_t pc = 0;
+        bool halted = false;
+        std::vector<uint32_t> regs;
+    };
+    // Remote-memory handler + requester state per tile.
+    struct DynState
+    {
+        /** Fully assembled requests awaiting service. */
+        std::deque<std::vector<uint32_t>> inbox;
+        int64_t handler_free = 0;
+        /** Reply words being injected into the reply plane. */
+        std::vector<uint32_t> outbox;
+        size_t outbox_pos = 0;
+        // Reply for the (single outstanding) request of this tile.
+        bool reply_ready = false;
+        int64_t reply_time = 0;
+        uint32_t reply_value = 0;
+    };
+
+    void step_proc(int tile, int64_t now);
+    void step_switch(int tile, int64_t now);
+    /** Attempt the switch's current instruction; true if it retired. */
+    bool exec_switch_instr(int tile, int64_t now);
+    void step_dyn(int tile, int64_t now);
+    /** Advance one wormhole plane by one cycle. */
+    void step_plane(DynPlane &plane, bool is_reply, int64_t now);
+    /** Dispatch a fully ejected message. */
+    void deliver_dyn(int tile, const std::vector<uint32_t> &msg,
+                     int64_t now);
+
+    /** Extra latency injected for a memory access (0 if no fault). */
+    int fault_extra();
+
+    Fifo &in_link(int tile, Dir d);
+    Fifo &out_link(int tile, Dir d);
+
+    const CompiledProgram &prog_;
+    MemorySystem mem_;
+    FaultConfig faults_;
+    uint64_t rng_;
+
+    std::vector<Proc> procs_;
+    std::vector<Sw> switches_;
+    std::vector<DynState> dyn_;
+    DynPlane req_plane_, reply_plane_;
+    // Port FIFOs: proc->switch, switch->proc, and per-direction
+    // outgoing link FIFOs between neighboring switches.
+    std::vector<Fifo> p2s_, s2p_;
+    std::vector<std::vector<Fifo>> links_; // [tile][dir 0..3]
+
+    SimResult stats_;
+    /** Per-print-point dynamic execution counts (trace ordering). */
+    std::vector<int> print_count_;
+    bool progress_ = false;
+};
+
+} // namespace raw
+
+#endif // RAW_SIM_SIMULATOR_HPP

@@ -1,0 +1,123 @@
+#include "sim/simulator.hpp"
+
+#include "ir/eval.hpp"
+
+namespace raw {
+
+namespace {
+
+/** May these two opcodes dual-issue (one ALU + one ROUTE)? */
+bool
+dual_issue_pair(SInstr::K a, SInstr::K b)
+{
+    return (a == SInstr::K::kAlu && b == SInstr::K::kRoute) ||
+           (a == SInstr::K::kRoute && b == SInstr::K::kAlu);
+}
+
+} // namespace
+
+void
+Simulator::step_switch(int tile, int64_t now)
+{
+    Sw &sw = switches_[tile];
+    if (sw.halted)
+        return;
+    const std::vector<SInstr> &code = prog_.switches[tile].code;
+    SInstr::K first = code[sw.pc].k;
+    if (!exec_switch_instr(tile, now))
+        return;
+    // Dual issue: one ALU and one ROUTE may retire together.
+    if (prog_.machine.switch_dual_issue && !sw.halted &&
+        sw.pc < static_cast<int64_t>(code.size()) &&
+        dual_issue_pair(first, code[sw.pc].k))
+        exec_switch_instr(tile, now);
+}
+
+bool
+Simulator::exec_switch_instr(int tile, int64_t now)
+{
+    (void)now;
+    Sw &sw = switches_[tile];
+    const std::vector<SInstr> &code = prog_.switches[tile].code;
+    check(sw.pc >= 0 && sw.pc < static_cast<int64_t>(code.size()),
+          "switch ran off the end of its stream");
+    const SInstr &in = code[sw.pc];
+
+    switch (in.k) {
+      case SInstr::K::kRoute: {
+        // Blocking semantics: the whole ROUTE fires or stalls.
+        for (const RoutePair &r : in.routes) {
+            Fifo &src = r.in == Dir::kProc ? p2s_[tile]
+                                           : in_link(tile, r.in);
+            if (!src.can_pop())
+                return false;
+            for (int d = 0; d < kNumDirs; d++) {
+                if (!(r.out_mask & (1u << d)))
+                    continue;
+                Dir dir = static_cast<Dir>(d);
+                Fifo &dst = dir == Dir::kProc ? s2p_[tile]
+                                              : out_link(tile, dir);
+                if (!dst.can_push())
+                    return false;
+            }
+        }
+        for (const RoutePair &r : in.routes) {
+            Fifo &src = r.in == Dir::kProc ? p2s_[tile]
+                                           : in_link(tile, r.in);
+            uint32_t v = src.pop();
+            for (int d = 0; d < kNumDirs; d++) {
+                if (!(r.out_mask & (1u << d)))
+                    continue;
+                Dir dir = static_cast<Dir>(d);
+                Fifo &dst = dir == Dir::kProc ? s2p_[tile]
+                                              : out_link(tile, dir);
+                dst.push(v);
+                stats_.words_routed++;
+            }
+            if (r.reg_dst >= 0)
+                sw.regs[r.reg_dst] = v;
+        }
+        sw.pc++;
+        stats_.switch_instrs_executed++;
+        progress_ = true;
+        return true;
+      }
+
+      case SInstr::K::kAlu: {
+        uint32_t out = 0;
+        if (in.op == Op::kConst) {
+            out = in.imm;
+        } else {
+            uint32_t a = in.a >= 0 ? sw.regs[in.a] : 0;
+            uint32_t b = in.b >= 0 ? sw.regs[in.b] : 0;
+            check(eval_op(in.op, a, b, out),
+                  "switch: unexecutable ALU opcode");
+        }
+        sw.regs[in.dst] = out;
+        sw.pc++;
+        stats_.switch_instrs_executed++;
+        progress_ = true;
+        return true;
+      }
+
+      case SInstr::K::kBnez:
+        sw.pc = sw.regs[in.cond] != 0 ? in.target : sw.pc + 1;
+        stats_.switch_instrs_executed++;
+        progress_ = true;
+        return true;
+
+      case SInstr::K::kJump:
+        sw.pc = in.target;
+        stats_.switch_instrs_executed++;
+        progress_ = true;
+        return true;
+
+      case SInstr::K::kHalt:
+        sw.halted = true;
+        progress_ = true;
+        return true;
+    }
+    return false;
+}
+
+} // namespace raw

@@ -1,0 +1,17 @@
+#include "support/error.hpp"
+
+namespace raw {
+
+void
+fatal(const std::string &msg)
+{
+    throw FatalError("fatal: " + msg);
+}
+
+void
+panic(const std::string &msg)
+{
+    throw PanicError("panic: " + msg);
+}
+
+} // namespace raw

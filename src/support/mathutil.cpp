@@ -1,0 +1,93 @@
+#include "support/mathutil.hpp"
+
+#include <cstdlib>
+
+namespace raw {
+
+int64_t
+gcd64(int64_t a, int64_t b)
+{
+    a = std::llabs(a);
+    b = std::llabs(b);
+    while (b != 0) {
+        int64_t t = a % b;
+        a = b;
+        b = t;
+    }
+    return a;
+}
+
+int64_t
+lcm64(int64_t a, int64_t b, int64_t cap)
+{
+    a = std::llabs(a);
+    b = std::llabs(b);
+    if (a == 0 || b == 0)
+        return 0;
+    int64_t g = gcd64(a, b);
+    int64_t l = (a / g) * b;
+    if (cap > 0 && l > cap)
+        return cap;
+    return l;
+}
+
+int64_t
+floor_mod(int64_t a, int64_t m)
+{
+    int64_t r = a % m;
+    return r < 0 ? r + m : r;
+}
+
+Congruence
+Congruence::mod(int64_t r, int64_t m)
+{
+    if (m == 0)
+        return exact(r);
+    m = std::llabs(m);
+    if (m == 1)
+        return top();
+    return {floor_mod(r, m), m};
+}
+
+int64_t
+Congruence::residue_mod(int64_t m) const
+{
+    if (m <= 0)
+        return -1;
+    if (is_exact())
+        return floor_mod(residue, m);
+    if (modulus % m == 0)
+        return floor_mod(residue, m);
+    return -1;
+}
+
+Congruence
+Congruence::operator+(const Congruence &o) const
+{
+    if (is_exact() && o.is_exact())
+        return exact(residue + o.residue);
+    int64_t m = gcd64(modulus, o.modulus);
+    return mod(residue + o.residue, m);
+}
+
+Congruence
+Congruence::operator-(const Congruence &o) const
+{
+    if (is_exact() && o.is_exact())
+        return exact(residue - o.residue);
+    int64_t m = gcd64(modulus, o.modulus);
+    return mod(residue - o.residue, m);
+}
+
+Congruence
+Congruence::operator*(const Congruence &o) const
+{
+    if (is_exact() && o.is_exact())
+        return exact(residue * o.residue);
+    // (r1 + m1*j) * (r2 + m2*k) == r1*r2 (mod gcd(r1*m2, r2*m1, m1*m2))
+    int64_t m = gcd64(gcd64(residue * o.modulus, o.residue * modulus),
+                      modulus * o.modulus);
+    return mod(residue * o.residue, m);
+}
+
+} // namespace raw

@@ -1,0 +1,57 @@
+#ifndef RAW_SUPPORT_MATHUTIL_HPP
+#define RAW_SUPPORT_MATHUTIL_HPP
+
+/**
+ * @file
+ * Small integer-math helpers used across the compiler: gcd/lcm on
+ * 64-bit values and modular-congruence arithmetic used by the affine
+ * staticization analysis (Section 5.3 of the paper).
+ */
+
+#include <cstdint>
+
+namespace raw {
+
+/** Greatest common divisor; gcd(0, x) == |x|. */
+int64_t gcd64(int64_t a, int64_t b);
+
+/** Least common multiple, saturating at @p cap (0 means no cap). */
+int64_t lcm64(int64_t a, int64_t b, int64_t cap = 0);
+
+/** Mathematical modulus: result is always in [0, m) for m > 0. */
+int64_t floor_mod(int64_t a, int64_t m);
+
+/**
+ * A modular congruence fact about an integer value: value == residue
+ * (mod modulus).  modulus == 0 means the value is exactly `residue`
+ * (a compile-time constant).  A Congruence can also be "top" (nothing
+ * known), represented by modulus == 1 with residue 0.
+ */
+struct Congruence
+{
+    int64_t residue = 0;
+    int64_t modulus = 1; // 1 == unknown ("anything"), 0 == exact constant
+
+    /** A congruence conveying no information. */
+    static Congruence top() { return {0, 1}; }
+    /** An exact compile-time constant. */
+    static Congruence exact(int64_t v) { return {v, 0}; }
+    /** value == r (mod m), m > 1. */
+    static Congruence mod(int64_t r, int64_t m);
+
+    bool is_exact() const { return modulus == 0; }
+    bool is_top() const { return modulus == 1; }
+
+    /** Residue of this value modulo @p m, or -1 if not determined. */
+    int64_t residue_mod(int64_t m) const;
+
+    Congruence operator+(const Congruence &o) const;
+    Congruence operator-(const Congruence &o) const;
+    Congruence operator*(const Congruence &o) const;
+
+    bool operator==(const Congruence &o) const = default;
+};
+
+} // namespace raw
+
+#endif // RAW_SUPPORT_MATHUTIL_HPP

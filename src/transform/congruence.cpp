@@ -1,0 +1,54 @@
+#include "transform/congruence.hpp"
+
+#include "ir/type.hpp"
+
+namespace raw {
+
+CongruenceMap::CongruenceMap(const Function &fn, int block_id)
+    : facts_(fn.values.size(), Congruence::top())
+{
+    const Block &blk = fn.blocks[block_id];
+    for (const EntryFact &f : blk.entry_facts)
+        facts_[f.var] = f.cong;
+
+    for (const Instr &in : blk.instrs) {
+        if (!in.has_dst())
+            continue;
+        Congruence out = Congruence::top();
+        switch (in.op) {
+          case Op::kConst:
+            if (in.type == Type::kI32)
+                out = Congruence::exact(bits_int(in.imm_bits));
+            break;
+          case Op::kMove:
+            out = facts_[in.src[0]];
+            break;
+          case Op::kAdd:
+            out = facts_[in.src[0]] + facts_[in.src[1]];
+            break;
+          case Op::kSub:
+            out = facts_[in.src[0]] - facts_[in.src[1]];
+            break;
+          case Op::kMul:
+            out = facts_[in.src[0]] * facts_[in.src[1]];
+            break;
+          case Op::kNeg:
+            out = Congruence::exact(0) - facts_[in.src[0]];
+            break;
+          case Op::kShl: {
+            const Congruence &amt = facts_[in.src[1]];
+            if (amt.is_exact() && amt.residue >= 0 && amt.residue < 31) {
+                Congruence scale =
+                    Congruence::exact(int64_t{1} << amt.residue);
+                out = facts_[in.src[0]] * scale;
+            }
+            break;
+          }
+          default:
+            break;
+        }
+        facts_[in.dst] = out;
+    }
+}
+
+} // namespace raw

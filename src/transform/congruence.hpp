@@ -1,0 +1,52 @@
+#ifndef RAW_TRANSFORM_CONGRUENCE_HPP
+#define RAW_TRANSFORM_CONGRUENCE_HPP
+
+/**
+ * @file
+ * Per-block modular congruence analysis (Section 5.3).
+ *
+ * Computes, for every value in a renamed basic block, a fact of the
+ * form `value == r (mod m)` (or an exact constant).  Seeds are the
+ * block's entry facts — congruences of loop induction variables
+ * established by the unroller — plus kConst instructions; kAdd, kSub,
+ * kMul, kShl-by-constant and kMove propagate facts.
+ *
+ * The orchestrater asks for an index value's residue modulo N (the
+ * machine size): a known residue means the memory reference has a
+ * single compile-time home tile (the *static reference property*) and
+ * can be served over the static network; otherwise the reference falls
+ * back to the dynamic network.
+ */
+
+#include <vector>
+
+#include "ir/function.hpp"
+#include "support/mathutil.hpp"
+
+namespace raw {
+
+/** Congruence facts for every value, relative to one block. */
+class CongruenceMap
+{
+  public:
+    /** Analyze @p block_id of @p fn. */
+    CongruenceMap(const Function &fn, int block_id);
+
+    /** Fact for @p v (top if unknown). */
+    const Congruence &get(ValueId v) const { return facts_[v]; }
+
+    /**
+     * Residue of @p v modulo @p m, or -1 if not statically known.
+     */
+    int64_t residue_mod(ValueId v, int64_t m) const
+    {
+        return facts_[v].residue_mod(m);
+    }
+
+  private:
+    std::vector<Congruence> facts_;
+};
+
+} // namespace raw
+
+#endif // RAW_TRANSFORM_CONGRUENCE_HPP

@@ -1,0 +1,99 @@
+#include "transform/constfold.hpp"
+
+#include <algorithm>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "ir/eval.hpp"
+
+namespace raw {
+
+namespace {
+
+/** Fold one block; returns number of instructions eliminated. */
+int
+fold_block(Function &fn, Block &blk)
+{
+    // value -> known constant bits, maintained sequentially (variable
+    // entries are killed on reassignment).
+    std::unordered_map<ValueId, uint32_t> env;
+    int removed = 0;
+
+    for (Instr &in : blk.instrs) {
+        if (in.op == Op::kConst) {
+            env[in.dst] = in.imm_bits;
+            continue;
+        }
+        std::optional<uint32_t> folded;
+        if (!op_is_memory(in.op) && !in.is_terminator() &&
+            in.op != Op::kSend && in.op != Op::kRecv &&
+            in.op != Op::kPrint) {
+            bool all_const = in.num_srcs() > 0;
+            uint32_t a = 0, b = 0;
+            for (int s = 0; s < in.num_srcs(); s++) {
+                auto it = env.find(in.src[s]);
+                if (it == env.end()) {
+                    all_const = false;
+                    break;
+                }
+                (s == 0 ? a : b) = it->second;
+            }
+            if (all_const) {
+                uint32_t out;
+                if (eval_op(in.op, a, b, out))
+                    folded = out;
+            }
+        }
+        if (in.has_dst()) {
+            if (folded) {
+                Instr c;
+                c.op = Op::kConst;
+                c.type = in.type;
+                c.dst = in.dst;
+                c.imm_bits = *folded;
+                in = c;
+                env[in.dst] = *folded;
+            } else {
+                env.erase(in.dst);
+            }
+        }
+    }
+
+    // Dead-temp elimination: remove pure instructions whose
+    // destination is a temporary with no later use in this block.
+    std::vector<bool> used(fn.values.size(), false);
+    std::vector<Instr> kept;
+    kept.reserve(blk.instrs.size());
+    for (size_t k = blk.instrs.size(); k-- > 0;) {
+        const Instr &in = blk.instrs[k];
+        bool side_effect = op_is_memory(in.op) || in.is_terminator() ||
+                           in.op == Op::kSend || in.op == Op::kRecv ||
+                           in.op == Op::kPrint;
+        bool keeps = side_effect || !in.has_dst() ||
+                     fn.values[in.dst].is_var || used[in.dst];
+        if (!keeps) {
+            removed++;
+            continue;
+        }
+        for (int s = 0; s < in.num_srcs(); s++)
+            used[in.src[s]] = true;
+        kept.push_back(in);
+    }
+    std::reverse(kept.begin(), kept.end());
+    blk.instrs = std::move(kept);
+    return removed;
+}
+
+} // namespace
+
+int
+constfold_function(Function &fn)
+{
+    int removed = 0;
+    for (Block &blk : fn.blocks)
+        removed += fold_block(fn, blk);
+    return removed;
+}
+
+} // namespace raw

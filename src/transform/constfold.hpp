@@ -1,0 +1,27 @@
+#ifndef RAW_TRANSFORM_CONSTFOLD_HPP
+#define RAW_TRANSFORM_CONSTFOLD_HPP
+
+/**
+ * @file
+ * In-block constant folding, copy propagation and dead-temp
+ * elimination.
+ *
+ * Folding matters beyond code quality here: peeled loop iterations
+ * leave index expressions like (16*32 + 3) in the IR, and the
+ * orchestrater can only pin a memory reference to its home tile when
+ * the index value's congruence is known — an exact constant being the
+ * strongest case.  Integer folding uses two's-complement int32
+ * semantics and float folding uses IEEE single precision, both
+ * matching the simulator exactly.
+ */
+
+#include "ir/function.hpp"
+
+namespace raw {
+
+/** Fold constants in every block of @p fn; returns #instrs removed. */
+int constfold_function(Function &fn);
+
+} // namespace raw
+
+#endif // RAW_TRANSFORM_CONSTFOLD_HPP

@@ -1,0 +1,70 @@
+#include "transform/rename.hpp"
+
+#include <unordered_map>
+
+#include "support/error.hpp"
+
+namespace raw {
+
+namespace {
+
+void
+rename_block(Function &fn, Block &blk)
+{
+    // Current local value of each renamed variable.
+    std::unordered_map<ValueId, ValueId> cur;
+    // Variables written in this block, in first-write order.
+    std::vector<ValueId> written;
+
+    for (Instr &in : blk.instrs) {
+        for (int s = 0; s < in.num_srcs(); s++) {
+            ValueId v = in.src[s];
+            if (fn.values[v].is_var) {
+                auto it = cur.find(v);
+                if (it != cur.end())
+                    in.src[s] = it->second;
+            }
+        }
+        if (in.has_dst() && fn.values[in.dst].is_var) {
+            ValueId var = in.dst;
+            const ValueInfo &vi = fn.values[var];
+            ValueId t = fn.new_value(
+                vi.type, vi.name + "_" + std::to_string(fn.values.size()),
+                false);
+            in.dst = t;
+            if (!cur.count(var))
+                written.push_back(var);
+            cur[var] = t;
+        }
+    }
+
+    // Insert trailing write-backs before the terminator.
+    check(!blk.instrs.empty() && blk.instrs.back().is_terminator(),
+          "rename: malformed block");
+    Instr term = blk.instrs.back();
+    blk.instrs.pop_back();
+    for (ValueId var : written) {
+        Instr mv = Instr::make(Op::kMove, fn.values[var].type, var,
+                               cur[var]);
+        blk.instrs.push_back(mv);
+    }
+    blk.instrs.push_back(term);
+}
+
+} // namespace
+
+void
+rename_function(Function &fn)
+{
+    for (Block &blk : fn.blocks)
+        rename_block(fn, blk);
+}
+
+bool
+is_writeback(const Function &fn, const Instr &in)
+{
+    return in.op == Op::kMove && in.dst != kNoValue &&
+           fn.values[in.dst].is_var;
+}
+
+} // namespace raw

@@ -1,0 +1,35 @@
+#ifndef RAW_TRANSFORM_RENAME_HPP
+#define RAW_TRANSFORM_RENAME_HPP
+
+/**
+ * @file
+ * Software renaming: the paper's *initial code transformation*
+ * (Section 3.3, Figure 6a).
+ *
+ * Each basic block is converted to a locally single-assignment form:
+ * every write to a persistent variable is redirected to a fresh
+ * temporary, removing anti- and output-dependences within the block
+ * (the compile-time analogue of superscalar register renaming).  After
+ * the pass, a variable appears
+ *   - as a *source* only for its live-in value at block entry, and
+ *   - as a *destination* only in a single trailing "write-back" move
+ *     per block (`move v <- v_k`), which the stitcher later turns into
+ *     the communication that updates v's home tile.
+ */
+
+#include "ir/function.hpp"
+
+namespace raw {
+
+/** Rename every block of @p fn in place. */
+void rename_function(Function &fn);
+
+/**
+ * True if @p in is a trailing variable write-back produced by
+ * renaming (a move whose destination is a persistent variable).
+ */
+bool is_writeback(const Function &fn, const Instr &in);
+
+} // namespace raw
+
+#endif // RAW_TRANSFORM_RENAME_HPP

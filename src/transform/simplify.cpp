@@ -1,0 +1,178 @@
+#include "transform/simplify.hpp"
+
+#include <unordered_map>
+#include <vector>
+
+#include "support/error.hpp"
+
+namespace raw {
+
+namespace {
+
+/** Fold kBranch on an in-block constant condition into kJump. */
+bool
+fold_const_branches(Function &fn)
+{
+    bool changed = false;
+    for (Block &blk : fn.blocks) {
+        Instr &term = blk.instrs.back();
+        if (term.op != Op::kBranch)
+            continue;
+        // Find the in-block definition of the condition.
+        ValueId cond = term.src[0];
+        const Instr *def = nullptr;
+        for (const Instr &in : blk.instrs)
+            if (in.has_dst() && in.dst == cond)
+                def = &in;
+        if (!def || def->op != Op::kConst)
+            continue;
+        int target = def->imm_bits != 0 ? term.target[0]
+                                        : term.target[1];
+        Instr j;
+        j.op = Op::kJump;
+        j.target[0] = target;
+        term = j;
+        changed = true;
+    }
+    return changed;
+}
+
+/** Redirect edges through jump-only blocks. */
+bool
+thread_jumps(Function &fn)
+{
+    const int nb = static_cast<int>(fn.blocks.size());
+    std::vector<int> fwd(nb, -1);
+    for (int b = 0; b < nb; b++) {
+        const Block &blk = fn.blocks[b];
+        if (blk.instrs.size() == 1 && blk.instrs[0].op == Op::kJump &&
+            blk.instrs[0].target[0] != b)
+            fwd[b] = blk.instrs[0].target[0];
+    }
+    auto resolve = [&](int b) {
+        int steps = 0;
+        while (fwd[b] >= 0 && steps++ < nb)
+            b = fwd[b];
+        return b;
+    };
+    bool changed = false;
+    for (Block &blk : fn.blocks) {
+        Instr &term = blk.instrs.back();
+        if (term.op == Op::kJump || term.op == Op::kBranch) {
+            int n_targets = term.op == Op::kJump ? 1 : 2;
+            for (int t = 0; t < n_targets; t++) {
+                int r = resolve(term.target[t]);
+                if (r != term.target[t]) {
+                    term.target[t] = r;
+                    changed = true;
+                }
+            }
+        }
+    }
+    return changed;
+}
+
+/** Merge blocks with a unique predecessor into that predecessor. */
+bool
+merge_chains(Function &fn)
+{
+    bool changed = false;
+    auto preds = fn.predecessors();
+    const int nb = static_cast<int>(fn.blocks.size());
+    for (int b = 0; b < nb; b++) {
+        for (;;) {
+            Block &blk = fn.blocks[b];
+            Instr &term = blk.instrs.back();
+            if (term.op != Op::kJump)
+                break;
+            int s = term.target[0];
+            if (s == b || s == 0 || preds[s].size() != 1)
+                break;
+            // Concatenate s into b.
+            Block &succ = fn.blocks[s];
+            blk.instrs.pop_back();
+            for (Instr &in : succ.instrs)
+                blk.instrs.push_back(in);
+            // s becomes an unreachable stub.
+            succ.instrs.clear();
+            Instr h;
+            h.op = Op::kHalt;
+            succ.instrs.push_back(h);
+            preds[s].clear();
+            // b's successor set changed; recompute preds of new succs
+            // conservatively by full recompute (cheap enough).
+            preds = fn.predecessors();
+            changed = true;
+        }
+    }
+    return changed;
+}
+
+/** Drop unreachable blocks, remapping ids (entry stays block 0). */
+bool
+remove_unreachable(Function &fn)
+{
+    const int nb = static_cast<int>(fn.blocks.size());
+    std::vector<bool> reach(nb, false);
+    std::vector<int> work{0};
+    reach[0] = true;
+    while (!work.empty()) {
+        int b = work.back();
+        work.pop_back();
+        for (int s : fn.blocks[b].successors())
+            if (!reach[s]) {
+                reach[s] = true;
+                work.push_back(s);
+            }
+    }
+    bool any = false;
+    for (int b = 0; b < nb; b++)
+        if (!reach[b])
+            any = true;
+    if (!any)
+        return false;
+
+    std::vector<int> remap(nb, -1);
+    std::vector<Block> kept;
+    for (int b = 0; b < nb; b++) {
+        if (!reach[b])
+            continue;
+        remap[b] = static_cast<int>(kept.size());
+        kept.push_back(std::move(fn.blocks[b]));
+    }
+    for (Block &blk : kept) {
+        Instr &term = blk.instrs.back();
+        int n_targets = term.op == Op::kJump
+                            ? 1
+                            : (term.op == Op::kBranch ? 2 : 0);
+        for (int t = 0; t < n_targets; t++) {
+            term.target[t] = remap[term.target[t]];
+            check(term.target[t] >= 0,
+                  "simplify: live edge to dead block");
+        }
+    }
+    fn.blocks = std::move(kept);
+    return true;
+}
+
+} // namespace
+
+bool
+simplify_cfg(Function &fn)
+{
+    bool any = false;
+    for (int round = 0; round < 50; round++) {
+        bool changed = false;
+        changed |= fold_const_branches(fn);
+        changed |= thread_jumps(fn);
+        changed |= remove_unreachable(fn);
+        changed |= merge_chains(fn);
+        changed |= remove_unreachable(fn);
+        if (!changed)
+            break;
+        any = true;
+    }
+    return any;
+}
+
+} // namespace raw

@@ -1,0 +1,31 @@
+#ifndef RAW_TRANSFORM_SIMPLIFY_HPP
+#define RAW_TRANSFORM_SIMPLIFY_HPP
+
+/**
+ * @file
+ * CFG simplification.
+ *
+ * Peeled loop iterations (Section 5.3) turn guard conditions like
+ * `if (i > k)` into compile-time constants once both induction
+ * variables are exact.  This pass:
+ *   1. folds branches on constant conditions into jumps,
+ *   2. threads jumps through empty (jump-only) blocks,
+ *   3. merges a block into its unique-predecessor successor,
+ *   4. removes unreachable blocks.
+ *
+ * Without it, peeled triangular kernels (cholesky) dissolve into
+ * thousands of two-instruction blocks and per-block control overhead
+ * dominates; with it, they become the large straight-line basic
+ * blocks the orchestrater exists to exploit.
+ */
+
+#include "ir/function.hpp"
+
+namespace raw {
+
+/** Simplify @p fn in place; returns true if anything changed. */
+bool simplify_cfg(Function &fn);
+
+} // namespace raw
+
+#endif // RAW_TRANSFORM_SIMPLIFY_HPP

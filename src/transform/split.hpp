@@ -1,0 +1,31 @@
+#ifndef RAW_TRANSFORM_SPLIT_HPP
+#define RAW_TRANSFORM_SPLIT_HPP
+
+/**
+ * @file
+ * Bounded-block splitting.
+ *
+ * Aggressive peeling (Section 5.3) can produce straight-line regions
+ * of tens of thousands of instructions.  Scheduling such a region as
+ * one basic block makes the event scheduler expose far more
+ * parallelism than 32 registers can hold (the paper's phase-ordering
+ * problem, Section 4.2), drowning the code in spills.  This pass cuts
+ * blocks longer than a threshold: temporaries live across a cut are
+ * promoted to variables (so the stitcher routes them through home
+ * tiles), and the cut edge is a fall-through jump the linker removes.
+ * Congruence facts survive a cut only for variables the earlier part
+ * did not redefine.
+ */
+
+#include <cstddef>
+
+#include "ir/function.hpp"
+
+namespace raw {
+
+/** Split blocks longer than @p max_len instructions; returns #cuts. */
+int split_large_blocks(Function &fn, size_t max_len = 300);
+
+} // namespace raw
+
+#endif // RAW_TRANSFORM_SPLIT_HPP

@@ -1,0 +1,117 @@
+#include "transform/strength.hpp"
+
+#include <unordered_map>
+
+#include "ir/type.hpp"
+
+namespace raw {
+
+namespace {
+
+bool
+is_pow2(int64_t v)
+{
+    return v > 0 && (v & (v - 1)) == 0;
+}
+
+int
+log2i(int64_t v)
+{
+    int k = 0;
+    while ((int64_t{1} << k) < v)
+        k++;
+    return k;
+}
+
+} // namespace
+
+int
+strength_reduce(Function &fn)
+{
+    int rewritten = 0;
+    for (Block &blk : fn.blocks) {
+        // Constant values defined in this block so far.
+        std::unordered_map<ValueId, int64_t> consts;
+        std::vector<Instr> out;
+        out.reserve(blk.instrs.size());
+
+        auto emit_shift = [&](ValueId dst, ValueId x, int sh) {
+            ValueId amt = fn.new_value(Type::kI32);
+            out.push_back(Instr::make_const_int(
+                amt, static_cast<int32_t>(sh)));
+            out.push_back(
+                Instr::make(Op::kShl, Type::kI32, dst, x, amt));
+        };
+
+        for (Instr &in : blk.instrs) {
+            if (in.op == Op::kConst && in.type == Type::kI32) {
+                consts[in.dst] = bits_int(in.imm_bits);
+                out.push_back(in);
+                continue;
+            }
+            if (in.has_dst())
+                consts.erase(in.dst);
+            if (in.op != Op::kMul) {
+                out.push_back(in);
+                continue;
+            }
+            // Find a constant operand.
+            int64_t c = 0;
+            ValueId x = kNoValue;
+            for (int s = 0; s < 2; s++) {
+                auto it = consts.find(in.src[s]);
+                if (it != consts.end()) {
+                    c = it->second;
+                    x = in.src[1 - s];
+                }
+            }
+            if (x == kNoValue || c <= 0) {
+                out.push_back(in);
+                continue;
+            }
+            if (c == 1) {
+                out.push_back(
+                    Instr::make(Op::kMove, Type::kI32, in.dst, x));
+                rewritten++;
+                continue;
+            }
+            if (is_pow2(c)) {
+                emit_shift(in.dst, x, log2i(c));
+                rewritten++;
+                continue;
+            }
+            // Two-term decompositions: 2^a + 2^b or 2^a - 2^b.
+            bool done = false;
+            for (int a = 1; a < 31 && !done; a++) {
+                int64_t pa = int64_t{1} << a;
+                if (pa <= c / 2)
+                    continue;
+                if (pa >= c * 2)
+                    break;
+                int64_t rest = c - pa;
+                if (rest != 0 && is_pow2(rest < 0 ? -rest : rest)) {
+                    int b = log2i(rest < 0 ? -rest : rest);
+                    ValueId t1 = fn.new_value(Type::kI32);
+                    ValueId t2 = fn.new_value(Type::kI32);
+                    emit_shift(t1, x, a);
+                    emit_shift(t2, x, b);
+                    out.push_back(Instr::make(
+                        rest > 0 ? Op::kAdd : Op::kSub, Type::kI32,
+                        in.dst, t1, t2));
+                    rewritten++;
+                    done = true;
+                } else if (rest == 0) {
+                    emit_shift(in.dst, x, a);
+                    rewritten++;
+                    done = true;
+                }
+            }
+            if (!done)
+                out.push_back(in);
+        }
+        blk.instrs = std::move(out);
+    }
+    return rewritten;
+}
+
+} // namespace raw

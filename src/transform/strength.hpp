@@ -1,0 +1,28 @@
+#ifndef RAW_TRANSFORM_STRENGTH_HPP
+#define RAW_TRANSFORM_STRENGTH_HPP
+
+/**
+ * @file
+ * Strength reduction of integer multiplies by constants.
+ *
+ * Integer MUL costs 12 cycles on the Raw prototype (Table 1), so a
+ * production back-end — like the Mips compiler the paper baselines
+ * against — rewrites `x * C` into shift/add/sub sequences whenever
+ * the decomposition is short.  Applied to both the RAWCC pipeline and
+ * the sequential baseline so array index arithmetic costs what it
+ * would under a real code generator:
+ *   x * 2^k        -> shl
+ *   x * (2^a+2^b)  -> shl, shl, add
+ *   x * (2^a-2^b)  -> shl, shl, sub
+ */
+
+#include "ir/function.hpp"
+
+namespace raw {
+
+/** Rewrite constant multiplies in @p fn; returns #rewritten. */
+int strength_reduce(Function &fn);
+
+} // namespace raw
+
+#endif // RAW_TRANSFORM_STRENGTH_HPP

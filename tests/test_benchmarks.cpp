@@ -1,0 +1,54 @@
+/**
+ * @file
+ * Whole-benchmark correctness: every Table 2 program must produce
+ * bit-identical results under RAWCC at every machine size as under
+ * the sequential baseline, and should show speedup at 16+ tiles for
+ * the parallel-friendly programs.
+ */
+
+#include <gtest/gtest.h>
+
+#include "harness/harness.hpp"
+
+namespace raw {
+namespace {
+
+class BenchmarkCorrectness
+    : public ::testing::TestWithParam<std::tuple<std::string, int>>
+{};
+
+TEST_P(BenchmarkCorrectness, MatchesBaseline)
+{
+    const auto &[name, n] = GetParam();
+    const BenchmarkProgram &prog = benchmark(name);
+    double s = verified_speedup(prog, MachineConfig::base(n));
+    RecordProperty("speedup", std::to_string(s));
+    EXPECT_GT(s, 0.05) << name << " n=" << n;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Suite, BenchmarkCorrectness,
+    ::testing::Combine(
+        ::testing::Values("life", "vpenta", "cholesky", "tomcatv",
+                          "fpppp-kernel", "mxm", "jacobi"),
+        ::testing::Values(1, 2, 4, 8, 16, 32)),
+    [](const ::testing::TestParamInfo<std::tuple<std::string, int>>
+           &info) {
+        std::string name = std::get<0>(info.param);
+        for (char &c : name)
+            if (c == '-')
+                c = '_';
+        return name + "_n" + std::to_string(std::get<1>(info.param));
+    });
+
+TEST(BenchmarkSpeedup, ParallelProgramsScale)
+{
+    for (const char *name : {"jacobi", "mxm", "fpppp-kernel"}) {
+        const BenchmarkProgram &prog = benchmark(name);
+        double s16 = verified_speedup(prog, MachineConfig::base(16));
+        EXPECT_GT(s16, 2.0) << name;
+    }
+}
+
+} // namespace
+} // namespace raw

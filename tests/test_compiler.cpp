@@ -1,0 +1,220 @@
+/**
+ * @file
+ * Whole-compiler tests: the driver's statistics, ablation options,
+ * program structure invariants of the emitted machine code, and the
+ * machine-size sweep on small kernels.
+ */
+
+#include <gtest/gtest.h>
+
+#include "harness/harness.hpp"
+#include "ir/builder.hpp"
+#include "sim/disasm.hpp"
+
+namespace raw {
+namespace {
+
+// Trip counts large enough that loops unroll rather than fully peel.
+const char *kLoopy = R"(
+int A[256];
+int i; int s;
+for (i = 0; i < 256; i = i + 1) { A[i] = i * 2; }
+s = 0;
+for (i = 0; i < 256; i = i + 1) { s = s + A[i]; }
+print(s);
+)";
+
+TEST(Compiler, StatsPopulated)
+{
+    CompileOutput out =
+        compile_source(kLoopy, MachineConfig::base(4),
+                       CompilerOptions{});
+    EXPECT_GT(out.stats.ir_instrs, 0);
+    EXPECT_GT(out.stats.static_instrs, 0);
+    EXPECT_FALSE(out.stats.block_makespan.empty());
+    EXPECT_EQ(out.program.num_prints, 1);
+    EXPECT_EQ(out.program.machine.n_tiles, 4);
+    EXPECT_EQ(out.program.tiles.size(), 4u);
+    EXPECT_EQ(out.program.switches.size(), 4u);
+}
+
+TEST(Compiler, EveryTileStreamEndsInHalt)
+{
+    CompileOutput out =
+        compile_source(kLoopy, MachineConfig::base(8),
+                       CompilerOptions{});
+    for (const TileProgram &t : out.program.tiles) {
+        ASSERT_FALSE(t.code.empty());
+        bool has_halt = false;
+        for (const PInstr &p : t.code)
+            if (p.op == Op::kHalt)
+                has_halt = true;
+        EXPECT_TRUE(has_halt);
+    }
+}
+
+TEST(Compiler, BranchTargetsInRange)
+{
+    CompileOutput out =
+        compile_source(kLoopy, MachineConfig::base(8),
+                       CompilerOptions{});
+    for (const TileProgram &t : out.program.tiles)
+        for (const PInstr &p : t.code)
+            if (p.op == Op::kJump || p.op == Op::kBranch) {
+                EXPECT_GE(p.target, 0);
+                EXPECT_LT(p.target,
+                          static_cast<int64_t>(t.code.size()));
+            }
+    for (const SwitchProgram &s : out.program.switches)
+        for (const SInstr &in : s.code)
+            if (in.k == SInstr::K::kJump ||
+                in.k == SInstr::K::kBnez) {
+                EXPECT_GE(in.target, 0);
+                EXPECT_LT(in.target,
+                          static_cast<int64_t>(s.code.size()));
+            }
+}
+
+TEST(Compiler, RegisterIndicesInRange)
+{
+    MachineConfig m = MachineConfig::base(4);
+    CompileOutput out = compile_source(kLoopy, m, CompilerOptions{});
+    for (const TileProgram &t : out.program.tiles)
+        for (const PInstr &p : t.code) {
+            EXPECT_LT(p.dst, m.num_registers);
+            EXPECT_LT(p.src[0], m.num_registers);
+            EXPECT_LT(p.src[1], m.num_registers);
+        }
+    for (const SwitchProgram &s : out.program.switches)
+        for (const SInstr &in : s.code) {
+            EXPECT_LT(in.dst, m.num_switch_registers);
+            EXPECT_LT(in.a, m.num_switch_registers);
+            EXPECT_LT(in.b, m.num_switch_registers);
+            for (const RoutePair &r : in.routes)
+                EXPECT_LT(r.reg_dst, m.num_switch_registers);
+        }
+}
+
+TEST(Compiler, CountedLoopsNeedNoBroadcast)
+{
+    CompileOutput out =
+        compile_source(kLoopy, MachineConfig::base(4),
+                       CompilerOptions{});
+    EXPECT_EQ(out.stats.broadcast_branches, 0)
+        << "constant-trip loops replicate control";
+    EXPECT_GE(out.stats.replicated_branches, 1);
+}
+
+TEST(Compiler, DataDependentControlBroadcasts)
+{
+    const char *src = R"(
+int A[8];
+int i;
+for (i = 0; i < 8; i = i + 1) { A[i] = i; }
+int x;
+x = A[5];
+while (x > 0) { x = x - A[0]; }
+print(x);
+)";
+    CompileOutput out = compile_source(src, MachineConfig::base(4),
+                                       CompilerOptions{});
+    EXPECT_GE(out.stats.broadcast_branches, 1);
+}
+
+TEST(Compiler, ReplicationAblationForcesBroadcast)
+{
+    CompilerOptions opts;
+    opts.orch.enable_replication = false;
+    CompileOutput out =
+        compile_source(kLoopy, MachineConfig::base(4), opts);
+    EXPECT_EQ(out.stats.replicated_branches, 0);
+    EXPECT_GE(out.stats.broadcast_branches, 1);
+    // And it still runs correctly.
+    Simulator sim(out.program);
+    SimResult r = sim.run();
+    RunResult base = run_baseline(kLoopy);
+    EXPECT_EQ(r.print_text(), base.prints);
+}
+
+TEST(Compiler, UnusedSwitchesStayEmpty)
+{
+    // One tile: no communication, so the switch program is empty and
+    // the simulator halts it immediately.
+    CompileOutput out =
+        compile_source(kLoopy, MachineConfig::base(1),
+                       CompilerOptions{});
+    EXPECT_TRUE(out.program.switches[0].code.empty());
+}
+
+TEST(Compiler, CompileFunctionEntryPoint)
+{
+    Function fn;
+    int b = fn.new_block("entry");
+    IRBuilder ib(fn);
+    ib.set_block(b);
+    int arr = fn.new_array("A", Type::kI32, {4});
+    ValueId idx = ib.const_int(2);
+    ValueId v = ib.const_int(123);
+    ib.store(arr, idx, v);
+    ValueId x = ib.load(arr, idx);
+    ib.print(x);
+    ib.halt();
+    CompileOutput out = compile_function(std::move(fn),
+                                         MachineConfig::base(2),
+                                         CompilerOptions{});
+    Simulator sim(out.program);
+    SimResult r = sim.run();
+    ASSERT_EQ(r.prints.size(), 1u);
+    EXPECT_EQ(bits_int(r.prints[0].bits), 123);
+}
+
+TEST(Compiler, VerifierCatchesMalformedInput)
+{
+    Function fn;
+    fn.new_block("entry"); // empty block: no terminator
+    EXPECT_THROW(compile_function(std::move(fn),
+                                  MachineConfig::base(2),
+                                  CompilerOptions{}),
+                 PanicError);
+}
+
+/** Machine-size sweep over a mixed kernel. */
+class MachineSweep : public ::testing::TestWithParam<int>
+{};
+
+TEST_P(MachineSweep, MixedKernelBitExact)
+{
+    const char *src = R"(
+float V[40];
+int P[40];
+int i;
+for (i = 0; i < 40; i = i + 1) {
+  V[i] = (float)(i * 3 % 11) * 0.5;
+  P[i] = (i * 7) % 13;
+}
+float acc; int chk;
+acc = 0.0;
+chk = 0;
+for (i = 0; i < 40; i = i + 1) {
+  if (P[i] > 6) {
+    acc = acc + V[i] * V[i];
+    chk = chk + 1;
+  } else {
+    acc = acc - V[i];
+  }
+}
+print(acc);
+print(chk);
+)";
+    int n = GetParam();
+    RunResult base = run_baseline(src, "V");
+    RunResult par = run_rawcc(src, MachineConfig::base(n), "V");
+    EXPECT_EQ(par.prints, base.prints);
+    EXPECT_EQ(par.check_words, base.check_words);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, MachineSweep,
+                         ::testing::Values(1, 2, 4, 8, 16, 32));
+
+} // namespace
+} // namespace raw

@@ -1,0 +1,222 @@
+/**
+ * @file
+ * End-to-end pipeline tests: rawc source -> RAWCC -> simulator, with
+ * results verified bit-exactly against the sequential baseline.
+ */
+
+#include <gtest/gtest.h>
+
+#include "harness/harness.hpp"
+
+namespace raw {
+namespace {
+
+/** Trivial straight-line program. */
+TEST(EndToEnd, ScalarArithmetic)
+{
+    const char *src = R"(
+int a = 3;
+int b = 4;
+int c;
+c = a * b + 2;
+print(c);
+)";
+    RunResult base = run_baseline(src);
+    EXPECT_EQ(base.prints, "14\n");
+    for (int n : {1, 2, 4}) {
+        RunResult par = run_rawcc(src, MachineConfig::base(n));
+        EXPECT_EQ(par.prints, "14\n") << "n=" << n;
+    }
+}
+
+TEST(EndToEnd, FloatArithmetic)
+{
+    const char *src = R"(
+float x = 1.5;
+float y = 2.25;
+float z;
+z = x * y + sqrt(4.0);
+print(z);
+)";
+    RunResult base = run_baseline(src);
+    RunResult par = run_rawcc(src, MachineConfig::base(4));
+    EXPECT_EQ(base.prints, par.prints);
+    EXPECT_EQ(base.prints, "5.375\n");
+}
+
+/** The paper's Figure 6 example program. */
+TEST(EndToEnd, Figure6Example)
+{
+    const char *src = R"(
+int a = 5;
+int b = 7;
+int x; int y; int z;
+y = a + b;
+z = a * a;
+x = y * a * 5;
+y = y * b * 6;
+print(x);
+print(y);
+print(z);
+)";
+    RunResult base = run_baseline(src);
+    EXPECT_EQ(base.prints, "300\n504\n25\n");
+    for (int n : {1, 2, 4, 8}) {
+        RunResult par = run_rawcc(src, MachineConfig::base(n));
+        EXPECT_EQ(par.prints, base.prints) << "n=" << n;
+    }
+}
+
+TEST(EndToEnd, IfElse)
+{
+    const char *src = R"(
+int a = 10;
+int r;
+if (a > 5) {
+  r = 1;
+} else {
+  r = 2;
+}
+print(r);
+int b;
+b = a - 20;
+if (b > 0) {
+  r = 3;
+} else {
+  r = 4;
+}
+print(r);
+)";
+    RunResult base = run_baseline(src);
+    EXPECT_EQ(base.prints, "1\n4\n");
+    for (int n : {1, 2, 4}) {
+        RunResult par = run_rawcc(src, MachineConfig::base(n));
+        EXPECT_EQ(par.prints, base.prints) << "n=" << n;
+    }
+}
+
+TEST(EndToEnd, WhileLoop)
+{
+    const char *src = R"(
+int i = 0;
+int s = 0;
+while (i < 10) {
+  s = s + i * i;
+  i = i + 1;
+}
+print(s);
+)";
+    RunResult base = run_baseline(src);
+    EXPECT_EQ(base.prints, "285\n");
+    for (int n : {1, 4}) {
+        RunResult par = run_rawcc(src, MachineConfig::base(n));
+        EXPECT_EQ(par.prints, base.prints) << "n=" << n;
+    }
+}
+
+TEST(EndToEnd, ArraySum)
+{
+    const char *src = R"(
+int A[64];
+int i;
+for (i = 0; i < 64; i = i + 1) {
+  A[i] = i * 3 + 1;
+}
+int s = 0;
+for (i = 0; i < 64; i = i + 1) {
+  s = s + A[i];
+}
+print(s);
+)";
+    RunResult base = run_baseline(src, "A");
+    EXPECT_EQ(base.prints, "6112\n");
+    for (int n : {1, 2, 4, 8, 16, 32}) {
+        RunResult par = run_rawcc(src, MachineConfig::base(n), "A");
+        EXPECT_EQ(par.prints, base.prints) << "n=" << n;
+        EXPECT_EQ(par.check_words, base.check_words) << "n=" << n;
+    }
+}
+
+TEST(EndToEnd, TwoDimStencil)
+{
+    const char *src = R"(
+float A[8][8];
+float B[8][8];
+int i; int j;
+for (i = 0; i < 8; i = i + 1) {
+  for (j = 0; j < 8; j = j + 1) {
+    A[i][j] = (float)(i * 8 + j);
+    B[i][j] = 0.0;
+  }
+}
+for (i = 1; i < 7; i = i + 1) {
+  for (j = 1; j < 7; j = j + 1) {
+    B[i][j] = A[i-1][j] + A[i+1][j] + A[i][j-1] + A[i][j+1];
+  }
+}
+print(B[3][3]);
+print(B[6][6]);
+)";
+    RunResult base = run_baseline(src, "B");
+    for (int n : {1, 4, 16}) {
+        RunResult par = run_rawcc(src, MachineConfig::base(n), "B");
+        EXPECT_EQ(par.prints, base.prints) << "n=" << n;
+        EXPECT_EQ(par.check_words, base.check_words) << "n=" << n;
+    }
+}
+
+/** Non-constant bounds force the dynamic-network fallback. */
+TEST(EndToEnd, DynamicReferences)
+{
+    const char *src = R"(
+int A[40];
+int n = 0;
+int i;
+while (n < 3) {
+  n = n + 1;
+}
+// n is now 3, but not a compile-time constant.
+for (i = 0; i < 37; i = i + 1) {
+  A[i + n] = i * 2;
+}
+int s = 0;
+for (i = 3; i < 40; i = i + 1) {
+  s = s + A[i];
+}
+print(s);
+)";
+    RunResult base = run_baseline(src, "A");
+    for (int n : {2, 4}) {
+        RunResult par = run_rawcc(src, MachineConfig::base(n), "A");
+        EXPECT_EQ(par.prints, base.prints) << "n=" << n;
+        EXPECT_EQ(par.check_words, base.check_words) << "n=" << n;
+        EXPECT_GT(par.stats.dynamic_refs, 0);
+    }
+}
+
+TEST(EndToEnd, SpeedupOnParallelCode)
+{
+    // A wide, independent computation should speed up with tiles.
+    const char *src = R"(
+float A[32];
+float B[32];
+int i;
+for (i = 0; i < 32; i = i + 1) {
+  A[i] = (float)(i + 1);
+}
+for (i = 0; i < 32; i = i + 1) {
+  B[i] = A[i] * A[i] + A[i] * 3.0 + sqrt(A[i]);
+}
+print(B[31]);
+)";
+    RunResult base = run_baseline(src, "B");
+    RunResult par16 = run_rawcc(src, MachineConfig::base(16), "B");
+    EXPECT_EQ(par16.check_words, base.check_words);
+    double speedup = static_cast<double>(base.cycles) /
+                     static_cast<double>(par16.cycles);
+    EXPECT_GT(speedup, 1.5) << "base=" << base.cycles
+                            << " par=" << par16.cycles;
+}
+
+} // namespace
+} // namespace raw

@@ -1,0 +1,187 @@
+/**
+ * @file
+ * Frontend tests: lexer, parser shapes, type checking, diagnostics,
+ * and lowering structure.
+ */
+
+#include <gtest/gtest.h>
+
+#include "frontend/lexer.hpp"
+#include "frontend/lower.hpp"
+#include "frontend/parser.hpp"
+#include "ir/verifier.hpp"
+#include "support/error.hpp"
+
+namespace raw {
+namespace {
+
+TEST(Lexer, Tokens)
+{
+    auto toks = tokenize("int x = 42; // comment\nx = x << 2;");
+    ASSERT_GE(toks.size(), 12u);
+    EXPECT_EQ(toks[0].kind, Tok::kKwInt);
+    EXPECT_EQ(toks[1].kind, Tok::kIdent);
+    EXPECT_EQ(toks[1].text, "x");
+    EXPECT_EQ(toks[2].kind, Tok::kAssign);
+    EXPECT_EQ(toks[3].kind, Tok::kIntLit);
+    EXPECT_EQ(toks[3].int_val, 42);
+    EXPECT_EQ(toks.back().kind, Tok::kEof);
+}
+
+TEST(Lexer, FloatLiterals)
+{
+    auto toks = tokenize("0.25 1e3 2.5e-1 7f");
+    EXPECT_EQ(toks[0].kind, Tok::kFloatLit);
+    EXPECT_FLOAT_EQ(toks[0].float_val, 0.25f);
+    EXPECT_FLOAT_EQ(toks[1].float_val, 1000.0f);
+    EXPECT_FLOAT_EQ(toks[2].float_val, 0.25f);
+    EXPECT_FLOAT_EQ(toks[3].float_val, 7.0f);
+}
+
+TEST(Lexer, BlockComments)
+{
+    auto toks = tokenize("a /* stuff \n more */ b");
+    EXPECT_EQ(toks[0].text, "a");
+    EXPECT_EQ(toks[1].text, "b");
+    EXPECT_THROW(tokenize("/* unterminated"), FatalError);
+    EXPECT_THROW(tokenize("int $bad;"), FatalError);
+}
+
+TEST(Parser, Declarations)
+{
+    Program p = parse_program("int x; float y = 1.5; int A[4][8];");
+    ASSERT_EQ(p.stmts.size(), 3u);
+    EXPECT_EQ(p.stmts[0]->kind, StmtKind::kDeclScalar);
+    EXPECT_EQ(p.stmts[1]->kind, StmtKind::kDeclScalar);
+    ASSERT_TRUE(p.stmts[1]->expr != nullptr);
+    EXPECT_EQ(p.stmts[2]->kind, StmtKind::kDeclArray);
+    EXPECT_EQ(p.stmts[2]->dims, (std::vector<int64_t>{4, 8}));
+}
+
+TEST(Parser, Precedence)
+{
+    Program p = parse_program("int x; x = 1 + 2 * 3;");
+    const Expr &e = *p.stmts[1]->expr;
+    ASSERT_EQ(e.kind, ExprKind::kBinary);
+    EXPECT_EQ(e.op, "+");
+    EXPECT_EQ(e.kids[1]->op, "*");
+}
+
+TEST(Parser, MixedTypeInsertscasts)
+{
+    Program p = parse_program("float y; y = 1 + 2.5;");
+    const Expr &e = *p.stmts[1]->expr;
+    EXPECT_EQ(e.type, Type::kF32);
+    EXPECT_EQ(e.kids[0]->kind, ExprKind::kCast);
+}
+
+TEST(Parser, CanonicalForLoop)
+{
+    Program p = parse_program(
+        "int i; int s; for (i = 0; i < 10; i = i + 2) { s = i; }");
+    const Stmt &f = *p.stmts[2];
+    EXPECT_EQ(f.kind, StmtKind::kFor);
+    EXPECT_EQ(f.name, "i");
+    EXPECT_EQ(f.step, 2);
+    EXPECT_EQ(f.cmp, "<");
+    EXPECT_EQ(f.body.size(), 1u);
+}
+
+TEST(Parser, DownwardForLoop)
+{
+    Program p = parse_program(
+        "int i; int s; for (i = 9; i >= 0; i = i - 3) { s = i; }");
+    EXPECT_EQ(p.stmts[2]->step, -3);
+    EXPECT_EQ(p.stmts[2]->cmp, ">=");
+}
+
+TEST(Parser, Diagnostics)
+{
+    EXPECT_THROW(parse_program("x = 1;"), FatalError)
+        << "undeclared variable";
+    EXPECT_THROW(parse_program("int x; int x;"), FatalError)
+        << "redeclaration";
+    EXPECT_THROW(parse_program("int A[2]; int x; x = A[0][1];"),
+                 FatalError)
+        << "wrong subscript count";
+    EXPECT_THROW(parse_program("float f; if (f) { }"), FatalError)
+        << "non-int condition";
+    EXPECT_THROW(parse_program("int i; for (i = 0; 3 < 4; i = i + 1) "
+                               "{ }"),
+                 FatalError)
+        << "non-canonical for";
+    EXPECT_THROW(parse_program("float y; y = 1.5 % 2.0;"), FatalError)
+        << "float modulo";
+    EXPECT_THROW(parse_program("int A[0];"), FatalError)
+        << "zero-sized array";
+}
+
+TEST(Parser, SqrtBuiltin)
+{
+    Program p = parse_program("float y; y = sqrt(2.0);");
+    const Expr &e = *p.stmts[1]->expr;
+    EXPECT_EQ(e.kind, ExprKind::kUnary);
+    EXPECT_EQ(e.op, "sqrt");
+    // Integer arguments coerce to float.
+    Program q = parse_program("float y; y = sqrt(4);");
+    EXPECT_EQ(q.stmts[1]->expr->kids[0]->kind, ExprKind::kCast);
+}
+
+TEST(Lower, ProducesVerifiableIR)
+{
+    Program p = parse_program(R"(
+int A[4][4];
+int i; int j;
+for (i = 0; i < 4; i = i + 1) {
+  for (j = 0; j < 4; j = j + 1) {
+    A[i][j] = i * 4 + j;
+  }
+}
+if (A[1][1] > 0) { print(A[1][1]); }
+while (i > 0) { i = i - 1; }
+)");
+    Function fn = lower_program(p);
+    EXPECT_EQ(verify_function(fn), "");
+    // Multi-dim subscripts flatten into one index per reference.
+    bool found_store = false;
+    for (const Block &b : fn.blocks)
+        for (const Instr &in : b.instrs)
+            if (in.op == Op::kStore)
+                found_store = true;
+    EXPECT_TRUE(found_store);
+    // The hidden scalar write-back array exists.
+    bool has_ivars = false;
+    for (const ArrayInfo &a : fn.arrays)
+        if (a.name == "__ivars")
+            has_ivars = true;
+    EXPECT_TRUE(has_ivars);
+}
+
+TEST(Lower, LogicalOpsNormalize)
+{
+    Program p = parse_program("int a; int b; int c; c = a && b;");
+    Function fn = lower_program(p);
+    // && lowers to compare-with-zero on both sides plus kAnd.
+    int cmps = 0, ands = 0;
+    for (const Instr &in : fn.blocks[0].instrs) {
+        if (in.op == Op::kCmpNe)
+            cmps++;
+        if (in.op == Op::kAnd)
+            ands++;
+    }
+    EXPECT_EQ(cmps, 2);
+    EXPECT_EQ(ands, 1);
+}
+
+TEST(Lower, ForLoopCFGShape)
+{
+    Program p = parse_program(
+        "int i; int s; for (i = 0; i < 8; i = i + 1) { s = s + i; }");
+    Function fn = lower_program(p);
+    // entry, header, body, exit (at least).
+    EXPECT_GE(fn.blocks.size(), 4u);
+    EXPECT_EQ(verify_function(fn), "");
+}
+
+} // namespace
+} // namespace raw

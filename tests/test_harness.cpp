@@ -1,0 +1,111 @@
+/**
+ * @file
+ * Harness and benchmark-suite tests: the Table 2 program registry,
+ * the fpppp generator, print-trace semantics, and verified_speedup.
+ */
+
+#include <gtest/gtest.h>
+
+#include "harness/harness.hpp"
+#include "programs/fpppp_gen.hpp"
+
+namespace raw {
+namespace {
+
+TEST(Programs, SuiteHasAllSevenBenchmarks)
+{
+    const auto &suite = benchmark_suite();
+    ASSERT_EQ(suite.size(), 7u);
+    const char *expected[] = {"life",    "vpenta",       "cholesky",
+                              "tomcatv", "fpppp-kernel", "mxm",
+                              "jacobi"};
+    for (size_t i = 0; i < suite.size(); i++) {
+        EXPECT_EQ(suite[i].name, expected[i]);
+        EXPECT_FALSE(suite[i].source.empty());
+        EXPECT_FALSE(suite[i].check_array.empty());
+        EXPECT_FALSE(suite[i].description.empty());
+    }
+}
+
+TEST(Programs, LookupByName)
+{
+    EXPECT_EQ(benchmark("jacobi").name, "jacobi");
+    EXPECT_THROW(benchmark("doom"), FatalError);
+}
+
+TEST(Programs, FppppGeneratorDeterministic)
+{
+    std::string a = generate_fpppp(48, 220, 7);
+    std::string b = generate_fpppp(48, 220, 7);
+    std::string c = generate_fpppp(48, 220, 8);
+    EXPECT_EQ(a, b);
+    EXPECT_NE(a, c);
+    EXPECT_NE(a.find("print(cs);"), std::string::npos);
+}
+
+TEST(Programs, FppppScalesWithParameters)
+{
+    RunResult small = run_baseline(generate_fpppp(16, 40, 1));
+    RunResult big = run_baseline(generate_fpppp(48, 220, 1));
+    EXPECT_GT(big.cycles, small.cycles * 2);
+}
+
+TEST(Harness, RunResultsPopulated)
+{
+    const char *src = "print(1 + 2);";
+    RunResult base = run_baseline(src);
+    EXPECT_EQ(base.prints, "3\n");
+    EXPECT_GT(base.cycles, 0);
+    RunResult par = run_rawcc(src, MachineConfig::base(2));
+    EXPECT_EQ(par.prints, "3\n");
+    EXPECT_GT(par.stats.static_instrs, 0);
+}
+
+TEST(Harness, VerifiedSpeedupPositive)
+{
+    BenchmarkProgram tiny;
+    tiny.name = "tiny";
+    tiny.check_array = "A";
+    tiny.source = R"(
+int A[16];
+int i;
+for (i = 0; i < 16; i = i + 1) { A[i] = i * i; }
+print(A[15]);
+)";
+    double s = verified_speedup(tiny, MachineConfig::base(4));
+    EXPECT_GT(s, 0.1);
+    EXPECT_LT(s, 100.0);
+}
+
+TEST(Harness, PrintOrderAcrossIterations)
+{
+    // Two prints inside a loop must interleave in iteration order,
+    // even though they may retire on different tiles at different
+    // times.
+    const char *src = R"(
+int A[8];
+int i;
+for (i = 0; i < 8; i = i + 1) { A[i] = i; }
+for (i = 0; i < 3; i = i + 1) {
+  print(A[i]);
+  print(A[i + 4]);
+}
+)";
+    RunResult base = run_baseline(src);
+    EXPECT_EQ(base.prints, "0\n4\n1\n5\n2\n6\n");
+    for (int n : {2, 4, 8}) {
+        RunResult par = run_rawcc(src, MachineConfig::base(n));
+        EXPECT_EQ(par.prints, base.prints) << "n=" << n;
+    }
+}
+
+TEST(Harness, FloatPrintsRenderConsistently)
+{
+    const char *src = "print(0.5); print(-2.25); print(1.0 / 3.0);";
+    RunResult base = run_baseline(src);
+    RunResult par = run_rawcc(src, MachineConfig::base(2));
+    EXPECT_EQ(base.prints, par.prints);
+}
+
+} // namespace
+} // namespace raw

@@ -1,0 +1,113 @@
+/**
+ * @file
+ * Machine description tests: mesh shapes, routing geometry, Table 1
+ * latencies, evaluation configurations.
+ */
+
+#include <gtest/gtest.h>
+
+#include "machine/machine.hpp"
+
+namespace raw {
+namespace {
+
+TEST(Machine, MeshShapes)
+{
+    struct Case
+    {
+        int n, rows, cols;
+    };
+    // The paper evaluates N = 1..32; shapes are near-square.
+    for (Case c : {Case{1, 1, 1}, Case{2, 1, 2}, Case{4, 2, 2},
+                   Case{8, 2, 4}, Case{16, 4, 4}, Case{32, 4, 8}}) {
+        MachineConfig m = MachineConfig::base(c.n);
+        EXPECT_EQ(m.rows, c.rows) << "n=" << c.n;
+        EXPECT_EQ(m.cols, c.cols) << "n=" << c.n;
+        EXPECT_EQ(m.rows * m.cols, c.n);
+    }
+}
+
+TEST(Machine, Table1Latencies)
+{
+    MachineConfig m = MachineConfig::base(4);
+    EXPECT_EQ(m.latency(FuOp::kIntAdd), 1);
+    EXPECT_EQ(m.latency(FuOp::kIntMul), 12);
+    EXPECT_EQ(m.latency(FuOp::kIntDiv), 35);
+    EXPECT_EQ(m.latency(FuOp::kFpAdd), 2);
+    EXPECT_EQ(m.latency(FuOp::kFpMul), 4);
+    EXPECT_EQ(m.latency(FuOp::kFpDiv), 12);
+    EXPECT_EQ(m.latency(FuOp::kLoad), 2) << "cache hit";
+}
+
+TEST(Machine, Configs)
+{
+    EXPECT_EQ(MachineConfig::base(8).num_registers, 32);
+    EXPECT_GT(MachineConfig::inf_reg(8).num_registers, 1024);
+    MachineConfig one = MachineConfig::one_cycle(8);
+    EXPECT_EQ(one.latency(FuOp::kIntDiv), 1);
+    EXPECT_EQ(one.latency(FuOp::kLoad), 1);
+    EXPECT_NE(MachineConfig::base(8).name(),
+              MachineConfig::inf_reg(8).name());
+}
+
+TEST(Machine, Distance)
+{
+    MachineConfig m = MachineConfig::base(16); // 4x4
+    EXPECT_EQ(m.distance(0, 0), 0);
+    EXPECT_EQ(m.distance(0, 3), 3);
+    EXPECT_EQ(m.distance(0, 15), 6);
+    EXPECT_EQ(m.distance(5, 10), 2);
+    EXPECT_EQ(m.distance(5, 10), m.distance(10, 5));
+}
+
+TEST(Machine, DimensionOrderedNextHop)
+{
+    MachineConfig m = MachineConfig::base(16); // 4x4
+    // X (columns) first, then Y (rows).
+    EXPECT_EQ(m.next_hop(0, 3), Dir::kEast);
+    EXPECT_EQ(m.next_hop(3, 0), Dir::kWest);
+    EXPECT_EQ(m.next_hop(0, 12), Dir::kSouth);
+    EXPECT_EQ(m.next_hop(12, 0), Dir::kNorth);
+    EXPECT_EQ(m.next_hop(0, 5), Dir::kEast) << "X before Y";
+    EXPECT_EQ(m.next_hop(7, 7), Dir::kProc);
+    // Walking next_hop always terminates in exactly distance steps.
+    for (int a = 0; a < 16; a++) {
+        for (int b = 0; b < 16; b++) {
+            int cur = a, steps = 0;
+            while (cur != b) {
+                cur = m.neighbor(cur, m.next_hop(cur, b));
+                ASSERT_GE(cur, 0);
+                ASSERT_LE(++steps, m.distance(a, b));
+            }
+            EXPECT_EQ(steps, m.distance(a, b));
+        }
+    }
+}
+
+TEST(Machine, Neighbors)
+{
+    MachineConfig m = MachineConfig::base(4); // 2x2
+    EXPECT_EQ(m.neighbor(0, Dir::kEast), 1);
+    EXPECT_EQ(m.neighbor(0, Dir::kSouth), 2);
+    EXPECT_EQ(m.neighbor(0, Dir::kNorth), -1) << "off-mesh";
+    EXPECT_EQ(m.neighbor(0, Dir::kWest), -1);
+    EXPECT_EQ(m.neighbor(3, Dir::kNorth), 1);
+    EXPECT_EQ(m.neighbor(0, Dir::kProc), 0);
+}
+
+TEST(Machine, OppositeDirections)
+{
+    EXPECT_EQ(opposite(Dir::kNorth), Dir::kSouth);
+    EXPECT_EQ(opposite(Dir::kEast), Dir::kWest);
+    EXPECT_EQ(opposite(opposite(Dir::kWest)), Dir::kWest);
+}
+
+TEST(Machine, ValidateRejectsBadShapes)
+{
+    MachineConfig m = MachineConfig::base(4);
+    m.rows = 3;
+    EXPECT_THROW(m.validate(), PanicError);
+}
+
+} // namespace
+} // namespace raw

@@ -1,0 +1,169 @@
+/**
+ * @file
+ * Option-matrix tests: every compiler knob (ablation switches,
+ * machine configurations, scheduling policies) must preserve
+ * bit-exact results — options trade performance, never correctness.
+ */
+
+#include <gtest/gtest.h>
+
+#include "harness/harness.hpp"
+
+namespace raw {
+namespace {
+
+/** A compact kernel exercising loops, guards, FP and memory. */
+const char *kKernel = R"(
+float A[48];
+int P[48];
+int i; float acc; int hits;
+for (i = 0; i < 48; i = i + 1) {
+  A[i] = (float)((i * 5) % 9) * 0.75 + 0.1;
+  P[i] = (i * 11) % 7;
+}
+acc = 0.0;
+hits = 0;
+for (i = 1; i < 47; i = i + 1) {
+  if (P[i] > 3) {
+    acc = acc + A[i-1] * A[i+1];
+    hits = hits + 1;
+  }
+}
+print(acc);
+print(hits);
+)";
+
+struct OptionCase
+{
+    const char *name;
+    CompilerOptions opts;
+};
+
+std::vector<OptionCase>
+option_matrix()
+{
+    std::vector<OptionCase> cases;
+    cases.push_back({"default", CompilerOptions{}});
+    {
+        CompilerOptions o;
+        o.unroll.enable = false;
+        cases.push_back({"no-unroll", o});
+    }
+    {
+        CompilerOptions o;
+        o.orch.enable_replication = false;
+        cases.push_back({"no-replication", o});
+    }
+    {
+        CompilerOptions o;
+        o.orch.fold_ports = false;
+        cases.push_back({"no-port-fold", o});
+    }
+    {
+        CompilerOptions o;
+        o.smart_homes = true;
+        cases.push_back({"smart-homes", o});
+    }
+    {
+        CompilerOptions o;
+        o.orch.partition.cluster_mode = ClusterMode::kUnitNodes;
+        cases.push_back({"no-clustering", o});
+    }
+    {
+        CompilerOptions o;
+        o.orch.partition.place_mode = PlaceMode::kArbitrary;
+        cases.push_back({"arbitrary-placement", o});
+    }
+    {
+        CompilerOptions o;
+        o.orch.partition.place_mode = PlaceMode::kAnneal;
+        cases.push_back({"annealed-placement", o});
+    }
+    {
+        CompilerOptions o;
+        o.orch.sched.fifo_priority = true;
+        cases.push_back({"fifo-priority", o});
+    }
+    {
+        CompilerOptions o;
+        o.orch.sched.level_weight = 1;
+        o.orch.sched.fertility_weight = 50;
+        cases.push_back({"fertility-heavy", o});
+    }
+    {
+        CompilerOptions o;
+        o.max_block_len = 40;
+        cases.push_back({"tiny-blocks", o});
+    }
+    return cases;
+}
+
+class OptionMatrix
+    : public ::testing::TestWithParam<std::tuple<int, int>>
+{};
+
+TEST_P(OptionMatrix, BitExactUnderAnyOptions)
+{
+    auto [case_idx, tiles] = GetParam();
+    OptionCase oc = option_matrix()[case_idx];
+    RunResult base = run_baseline(kKernel, "A");
+    RunResult par = run_rawcc(kKernel, MachineConfig::base(tiles),
+                              "A", oc.opts);
+    EXPECT_EQ(par.prints, base.prints) << oc.name;
+    EXPECT_EQ(par.check_words, base.check_words) << oc.name;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Matrix, OptionMatrix,
+    ::testing::Combine(::testing::Range(0, 11),
+                       ::testing::Values(2, 7, 16)),
+    [](const ::testing::TestParamInfo<std::tuple<int, int>> &info) {
+        std::string name =
+            option_matrix()[std::get<0>(info.param)].name;
+        for (char &c : name)
+            if (c == '-')
+                c = '_';
+        return name + "_n" + std::to_string(std::get<1>(info.param));
+    });
+
+TEST(Options, MachineConfigsBitExact)
+{
+    RunResult base = run_baseline(kKernel, "A");
+    for (int n : {4, 16}) {
+        RunResult inf = run_rawcc(kKernel, MachineConfig::inf_reg(n),
+                                  "A");
+        EXPECT_EQ(inf.prints, base.prints) << "inf-reg n=" << n;
+        RunResult one = run_rawcc(
+            kKernel, MachineConfig::one_cycle(n), "A");
+        EXPECT_EQ(one.prints, base.prints) << "1-cycle n=" << n;
+    }
+}
+
+TEST(Options, PortFoldingFoldsAndHelps)
+{
+    CompilerOptions on, off;
+    off.orch.fold_ports = false;
+    CompileOutput a =
+        compile_source(kKernel, MachineConfig::base(8), on);
+    CompileOutput b =
+        compile_source(kKernel, MachineConfig::base(8), off);
+    EXPECT_GT(a.stats.folded_port_ops, 0);
+    EXPECT_EQ(b.stats.folded_port_ops, 0);
+    EXPECT_LT(a.stats.static_instrs, b.stats.static_instrs);
+    Simulator sa(a.program), sb(b.program);
+    EXPECT_LE(sa.run().cycles, sb.run().cycles);
+}
+
+TEST(Options, SmartHomesKeepsVotes)
+{
+    CompilerOptions o;
+    o.smart_homes = true;
+    CompileOutput out =
+        compile_source(kKernel, MachineConfig::base(8), o);
+    Simulator sim(out.program);
+    RunResult base = run_baseline(kKernel);
+    EXPECT_EQ(sim.run().print_text(), base.prints);
+}
+
+} // namespace
+} // namespace raw

@@ -1,0 +1,213 @@
+/**
+ * @file
+ * Instruction partitioner tests: DSC clustering, load-balance
+ * merging, placement with pins, and end-to-end partition validity.
+ */
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "analysis/liveness.hpp"
+#include "analysis/replication.hpp"
+#include "analysis/taskgraph.hpp"
+#include "frontend/lower.hpp"
+#include "frontend/parser.hpp"
+#include "partition/partition.hpp"
+#include "transform/congruence.hpp"
+#include "transform/constfold.hpp"
+#include "transform/rename.hpp"
+
+namespace raw {
+namespace {
+
+struct Ctx
+{
+    Function fn;
+    std::unique_ptr<ReplicationAnalysis> repl;
+    std::unique_ptr<VarLiveness> live;
+    HomeMap homes;
+    std::unique_ptr<TaskGraph> graph;
+    MachineConfig machine;
+};
+
+Ctx
+make_ctx(const char *src, int n_tiles, int block = 0)
+{
+    Ctx c;
+    c.fn = lower_program(parse_program(src));
+    constfold_function(c.fn);
+    rename_function(c.fn);
+    c.repl =
+        std::make_unique<ReplicationAnalysis>(c.fn, 8, 12, true);
+    c.live = std::make_unique<VarLiveness>(c.fn);
+    c.homes.n_tiles = n_tiles;
+    c.homes.var_home.assign(c.fn.values.size(), 0);
+    int next = 0;
+    for (ValueId v : c.fn.var_ids())
+        if (!c.repl->var_replicated(v)) {
+            c.homes.var_home[v] = next;
+            next = (next + 1) % n_tiles;
+        }
+    int64_t off = 0;
+    for (const ArrayInfo &a : c.fn.arrays) {
+        c.homes.array_base.push_back(off);
+        off += a.size();
+    }
+    c.machine = MachineConfig::base(n_tiles);
+    CongruenceMap cong(c.fn, block);
+    c.graph = std::make_unique<TaskGraph>(c.fn, block, c.machine, cong,
+                                          *c.repl, *c.live, c.homes);
+    return c;
+}
+
+// A wide independent computation: 8 chains of float math.
+const char *kWide = R"(
+float A[8];
+float B[8];
+A[0] = 1.0; A[1] = 2.0; A[2] = 3.0; A[3] = 4.0;
+A[4] = 5.0; A[5] = 6.0; A[6] = 7.0; A[7] = 8.0;
+B[0] = A[0] * A[0] + 1.0;
+B[1] = A[1] * A[1] + 1.0;
+B[2] = A[2] * A[2] + 1.0;
+B[3] = A[3] * A[3] + 1.0;
+B[4] = A[4] * A[4] + 1.0;
+B[5] = A[5] * A[5] + 1.0;
+B[6] = A[6] * A[6] + 1.0;
+B[7] = A[7] * A[7] + 1.0;
+)";
+
+TEST(Cluster, DSCProducesValidClustering)
+{
+    Ctx c = make_ctx(kWide, 4);
+    PartitionOptions opts;
+    Clustering cl = cluster_taskgraph(*c.graph, c.machine, opts);
+    ASSERT_EQ(cl.cluster_of.size(), c.graph->nodes().size());
+    for (size_t i = 0; i < cl.cluster_of.size(); i++) {
+        ASSERT_GE(cl.cluster_of[i], 0);
+        ASSERT_LT(cl.cluster_of[i], cl.n_clusters);
+    }
+    // Pinned nodes land in clusters pinned to the same tile.
+    for (size_t i = 0; i < c.graph->nodes().size(); i++) {
+        int pin = c.graph->nodes()[i].pin;
+        if (pin >= 0)
+            EXPECT_EQ(cl.pin_of[cl.cluster_of[i]], pin);
+    }
+}
+
+TEST(Cluster, SerialChainStaysTogether)
+{
+    // A pure serial dependence chain has no parallelism to exploit:
+    // DSC should not scatter it over many clusters.
+    const char *chain = R"(
+float A[1];
+float x;
+A[0] = 1.5;
+x = A[0];
+x = x * 1.5 + 0.5;
+x = x * 1.5 + 0.5;
+x = x * 1.5 + 0.5;
+x = x * 1.5 + 0.5;
+x = x * 1.5 + 0.5;
+print(x);
+)";
+    Ctx c = make_ctx(chain, 4);
+    PartitionOptions opts;
+    Clustering cl = cluster_taskgraph(*c.graph, c.machine, opts);
+    // Count clusters holding the fmul/fadd chain.
+    std::set<int> chain_clusters;
+    for (size_t i = 0; i < c.graph->nodes().size(); i++) {
+        const TGNode &nd = c.graph->nodes()[i];
+        if (nd.kind == TGKind::kInstr) {
+            Op op = c.fn.blocks[0].instrs[nd.instr].op;
+            if (op == Op::kFMul || op == Op::kFAdd)
+                chain_clusters.insert(cl.cluster_of[i]);
+        }
+    }
+    EXPECT_LE(chain_clusters.size(), 2u);
+}
+
+TEST(Merge, ProducesOnePartitionPerTile)
+{
+    Ctx c = make_ctx(kWide, 4);
+    PartitionOptions opts;
+    Clustering cl = cluster_taskgraph(*c.graph, c.machine, opts);
+    Clustering m = merge_clusters(*c.graph, cl, c.machine);
+    EXPECT_EQ(m.n_clusters, 4);
+    // Load balance: no partition may hold everything when there are
+    // plenty of free clusters.
+    int64_t total = 0, biggest = 0;
+    for (int p = 0; p < m.n_clusters; p++) {
+        total += m.cost_of[p];
+        biggest = std::max(biggest, m.cost_of[p]);
+    }
+    EXPECT_LT(biggest, total) << "work spread over > 1 partition";
+}
+
+TEST(Place, HonorsPinsAndImproves)
+{
+    Ctx c = make_ctx(kWide, 4);
+    PartitionOptions opts;
+    Clustering cl = cluster_taskgraph(*c.graph, c.machine, opts);
+    Clustering m = merge_clusters(*c.graph, cl, c.machine);
+    Partition arbitrary, greedy;
+    opts.place_mode = PlaceMode::kArbitrary;
+    arbitrary = place_partitions(*c.graph, m, c.machine, opts);
+    opts.place_mode = PlaceMode::kGreedySwap;
+    greedy = place_partitions(*c.graph, m, c.machine, opts);
+    // Pins honored in both (checked internally; re-check here).
+    for (size_t i = 0; i < c.graph->nodes().size(); i++) {
+        int pin = c.graph->nodes()[i].pin;
+        if (pin >= 0) {
+            EXPECT_EQ(arbitrary.tile_of[i], pin);
+            EXPECT_EQ(greedy.tile_of[i], pin);
+        }
+    }
+}
+
+TEST(Place, AnnealRunsAndHonorsPins)
+{
+    Ctx c = make_ctx(kWide, 8);
+    PartitionOptions opts;
+    opts.place_mode = PlaceMode::kAnneal;
+    Partition p = partition_taskgraph(*c.graph, c.machine, opts);
+    for (size_t i = 0; i < c.graph->nodes().size(); i++)
+        if (c.graph->nodes()[i].pin >= 0)
+            EXPECT_EQ(p.tile_of[i], c.graph->nodes()[i].pin);
+}
+
+TEST(Partition, SingleTileDegenerate)
+{
+    Ctx c = make_ctx(kWide, 1);
+    PartitionOptions opts;
+    Partition p = partition_taskgraph(*c.graph, c.machine, opts);
+    for (int t : p.tile_of)
+        EXPECT_EQ(t, 0);
+    EXPECT_EQ(p.cross_edges, 0);
+}
+
+TEST(Partition, UnitNodesModeWorks)
+{
+    Ctx c = make_ctx(kWide, 4);
+    PartitionOptions opts;
+    opts.cluster_mode = ClusterMode::kUnitNodes;
+    Partition p = partition_taskgraph(*c.graph, c.machine, opts);
+    for (size_t i = 0; i < c.graph->nodes().size(); i++)
+        if (c.graph->nodes()[i].pin >= 0)
+            EXPECT_EQ(p.tile_of[i], c.graph->nodes()[i].pin);
+}
+
+TEST(Partition, CrossEdgesCounted)
+{
+    Ctx c = make_ctx(kWide, 4);
+    PartitionOptions opts;
+    Partition p = partition_taskgraph(*c.graph, c.machine, opts);
+    int cross = 0;
+    for (const TGEdge &e : c.graph->edges())
+        if (p.tile_of[e.from] != p.tile_of[e.to])
+            cross++;
+    EXPECT_EQ(cross, p.cross_edges);
+}
+
+} // namespace
+} // namespace raw

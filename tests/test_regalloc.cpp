@@ -1,0 +1,154 @@
+/**
+ * @file
+ * Register allocator tests: persistent vs. temporary classes, spill
+ * insertion under pressure, and end-to-end correctness with tiny
+ * register files.
+ */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "harness/harness.hpp"
+#include "rawcc/regalloc.hpp"
+
+namespace raw {
+namespace {
+
+TEST(Regalloc, NoSpillsWhenRegistersSuffice)
+{
+    Function fn;
+    ValueId a = fn.new_value(Type::kI32, "a", true);
+    std::vector<std::vector<VInstr>> blocks(1);
+    VInstr c;
+    c.op = Op::kConst;
+    c.dst = a;
+    c.imm = int_bits(5);
+    blocks[0].push_back(c);
+    VInstr h;
+    h.op = Op::kHalt;
+    blocks[0].push_back(h);
+    RegallocResult r = allocate_registers(fn, blocks, {a}, 32);
+    EXPECT_EQ(r.spill_ops, 0);
+    EXPECT_EQ(r.spill_slots, 0);
+    EXPECT_EQ(r.blocks[0].size(), 2u);
+}
+
+TEST(Regalloc, TempPressureSpills)
+{
+    // 40 simultaneously-live temps cannot fit in 16 registers.
+    Function fn;
+    std::vector<std::vector<VInstr>> blocks(1);
+    std::vector<ValueId> temps;
+    for (int i = 0; i < 40; i++) {
+        ValueId t = fn.new_value(Type::kI32);
+        temps.push_back(t);
+        VInstr c;
+        c.op = Op::kConst;
+        c.dst = t;
+        c.imm = int_bits(i);
+        blocks[0].push_back(c);
+    }
+    // Consume them all afterwards so every interval overlaps.
+    ValueId acc = fn.new_value(Type::kI32);
+    VInstr c0;
+    c0.op = Op::kConst;
+    c0.dst = acc;
+    blocks[0].push_back(c0);
+    for (ValueId t : temps) {
+        ValueId next = fn.new_value(Type::kI32);
+        VInstr add;
+        add.op = Op::kAdd;
+        add.dst = next;
+        add.src[0] = acc;
+        add.src[1] = t;
+        blocks[0].push_back(add);
+        acc = next;
+    }
+    VInstr h;
+    h.op = Op::kHalt;
+    blocks[0].push_back(h);
+
+    RegallocResult r = allocate_registers(fn, blocks, {}, 16);
+    EXPECT_GT(r.spill_ops, 0);
+    EXPECT_GT(r.spill_slots, 0);
+    // Every physical register index stays within bounds.
+    for (const PInstr &p : r.blocks[0]) {
+        EXPECT_LT(p.dst, 16);
+        EXPECT_LT(p.src[0], 16);
+        EXPECT_LT(p.src[1], 16);
+    }
+}
+
+TEST(Regalloc, ManyPersistentVarsGoMemoryResident)
+{
+    Function fn;
+    std::vector<ValueId> vars;
+    std::vector<std::vector<VInstr>> blocks(1);
+    for (int i = 0; i < 60; i++) {
+        ValueId v =
+            fn.new_value(Type::kI32, "v" + std::to_string(i), true);
+        vars.push_back(v);
+        VInstr c;
+        c.op = Op::kConst;
+        c.dst = v;
+        c.imm = int_bits(i);
+        blocks[0].push_back(c);
+    }
+    VInstr h;
+    h.op = Op::kHalt;
+    blocks[0].push_back(h);
+    RegallocResult r = allocate_registers(fn, blocks, vars, 32);
+    EXPECT_GT(r.spill_slots, 0) << "60 vars cannot all live in regs";
+    EXPECT_GT(r.spill_ops, 0);
+}
+
+/** End-to-end pressure sweep: reduced register files still compute
+ *  the right answer, just with more spill traffic. */
+class RegisterSweep : public ::testing::TestWithParam<int>
+{};
+
+TEST_P(RegisterSweep, CorrectUnderPressure)
+{
+    int regs = GetParam();
+    // Wide FP block with many live values.
+    std::ostringstream src;
+    src << "float A[24];\nint i;\n";
+    src << "for (i = 0; i < 24; i = i + 1) { A[i] = (float)(i + 1); }\n";
+    for (int k = 0; k < 12; k++)
+        src << "float x" << k << ";\n"
+            << "x" << k << " = A[" << k << "] * A[" << (k + 12)
+            << "] + " << k << ".5;\n";
+    src << "float s;\ns = 0.0;\n";
+    for (int k = 0; k < 12; k++)
+        src << "s = s + x" << k << ";\n";
+    src << "print(s);\n";
+
+    RunResult base = run_baseline(src.str());
+    MachineConfig m = MachineConfig::base(4);
+    m.num_registers = regs;
+    CompilerOptions opts;
+    RunResult par = run_rawcc(src.str(), m, "", opts);
+    EXPECT_EQ(par.prints, base.prints) << regs << " registers";
+    if (regs <= 12)
+        EXPECT_GT(par.stats.spill_ops, 0);
+}
+
+INSTANTIATE_TEST_SUITE_P(Pressure, RegisterSweep,
+                         ::testing::Values(10, 12, 16, 24, 32, 64));
+
+TEST(Regalloc, InfRegEliminatesSpills)
+{
+    const BenchmarkProgram &prog = benchmark("fpppp-kernel");
+    RunResult base32 = run_rawcc(prog.source, MachineConfig::base(1),
+                                 prog.check_array);
+    RunResult inf = run_rawcc(prog.source, MachineConfig::inf_reg(1),
+                              prog.check_array);
+    EXPECT_EQ(inf.stats.spill_ops, 0);
+    EXPECT_EQ(inf.check_words, base32.check_words);
+    EXPECT_LE(inf.cycles, base32.cycles)
+        << "no register pressure can only help";
+}
+
+} // namespace
+} // namespace raw

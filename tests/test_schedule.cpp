@@ -1,0 +1,349 @@
+/**
+ * @file
+ * Communication and event-scheduler tests: dimension-ordered
+ * multicast trees, comm path derivation, and structural validity of
+ * block schedules (slot exclusivity, end-to-end contiguous paths,
+ * dependence-respecting times).
+ */
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <memory>
+
+#include "analysis/liveness.hpp"
+#include "analysis/replication.hpp"
+#include "analysis/taskgraph.hpp"
+#include "frontend/lower.hpp"
+#include "frontend/parser.hpp"
+#include "schedule/event_scheduler.hpp"
+#include "transform/congruence.hpp"
+#include "transform/constfold.hpp"
+#include "transform/rename.hpp"
+
+namespace raw {
+namespace {
+
+TEST(RouteTree, SingleDestNeighbor)
+{
+    MachineConfig m = MachineConfig::base(4); // 2x2
+    CommPath p;
+    p.src_tile = 0;
+    p.dests = {{1, true, false}};
+    RouteTree t = build_route_tree(m, p);
+    ASSERT_EQ(t.hops.size(), 2u);
+    EXPECT_EQ(t.hops[0].tile, 0);
+    EXPECT_EQ(t.hops[0].in, Dir::kProc);
+    EXPECT_EQ(t.hops[0].out_mask,
+              1u << static_cast<int>(Dir::kEast));
+    EXPECT_EQ(t.hops[1].tile, 1);
+    EXPECT_EQ(t.hops[1].in, Dir::kWest);
+    EXPECT_TRUE(t.hops[1].out_mask &
+                (1u << static_cast<int>(Dir::kProc)));
+    ASSERT_EQ(t.proc_recvs.size(), 1u);
+    EXPECT_EQ(t.proc_recvs[0], (std::pair<int, int>{1, 1}));
+    EXPECT_EQ(t.max_depth, 1);
+}
+
+TEST(RouteTree, DimensionOrderXThenY)
+{
+    MachineConfig m = MachineConfig::base(16); // 4x4
+    CommPath p;
+    p.src_tile = 0;
+    p.dests = {{10, true, false}}; // row 2, col 2
+    RouteTree t = build_route_tree(m, p);
+    // Path: 0 ->E 1 ->E 2 ->S 6 ->S 10.
+    std::map<int, Dir> in_of;
+    for (const TreeHop &h : t.hops)
+        in_of[h.tile] = h.in;
+    EXPECT_TRUE(in_of.count(1));
+    EXPECT_TRUE(in_of.count(2));
+    EXPECT_TRUE(in_of.count(6));
+    EXPECT_TRUE(in_of.count(10));
+    EXPECT_EQ(in_of[6], Dir::kNorth);
+    EXPECT_EQ(t.max_depth, 4);
+}
+
+TEST(RouteTree, MulticastSharesPrefix)
+{
+    MachineConfig m = MachineConfig::base(16); // 4x4
+    CommPath p;
+    p.src_tile = 0;
+    p.dests = {{2, true, false}, {3, true, false}};
+    RouteTree t = build_route_tree(m, p);
+    // Tiles 0,1,2,3 each appear once; tile 2 forwards east AND
+    // delivers to its processor.
+    EXPECT_EQ(t.hops.size(), 4u);
+    for (const TreeHop &h : t.hops) {
+        if (h.tile == 2) {
+            EXPECT_TRUE(h.out_mask &
+                        (1u << static_cast<int>(Dir::kProc)));
+            EXPECT_TRUE(h.out_mask &
+                        (1u << static_cast<int>(Dir::kEast)));
+        }
+    }
+}
+
+TEST(RouteTree, SwitchRegisterDelivery)
+{
+    MachineConfig m = MachineConfig::base(4);
+    CommPath p;
+    p.src_tile = 0;
+    p.broadcast = true;
+    p.dests = {{0, false, true}, {1, true, true}};
+    RouteTree t = build_route_tree(m, p);
+    for (const TreeHop &h : t.hops) {
+        if (h.tile == 0)
+            EXPECT_TRUE(h.to_reg);
+        if (h.tile == 1) {
+            EXPECT_TRUE(h.to_reg);
+            EXPECT_TRUE(h.out_mask &
+                        (1u << static_cast<int>(Dir::kProc)));
+        }
+    }
+}
+
+// ---------------------------------------------------------------
+// Whole-block schedule validity.
+
+struct Ctx
+{
+    Function fn;
+    std::unique_ptr<ReplicationAnalysis> repl;
+    std::unique_ptr<VarLiveness> live;
+    HomeMap homes;
+    std::unique_ptr<TaskGraph> graph;
+    Partition part;
+    std::vector<CommPath> paths;
+    BlockSchedule sched;
+    MachineConfig machine;
+};
+
+Ctx
+schedule(const char *src, int n_tiles, int block = 0)
+{
+    Ctx c;
+    c.fn = lower_program(parse_program(src));
+    constfold_function(c.fn);
+    rename_function(c.fn);
+    c.repl =
+        std::make_unique<ReplicationAnalysis>(c.fn, 8, 12, true);
+    c.live = std::make_unique<VarLiveness>(c.fn);
+    c.homes.n_tiles = n_tiles;
+    c.homes.var_home.assign(c.fn.values.size(), 0);
+    int next = 0;
+    for (ValueId v : c.fn.var_ids())
+        if (!c.repl->var_replicated(v)) {
+            c.homes.var_home[v] = next;
+            next = (next + 1) % n_tiles;
+        }
+    int64_t off = 0;
+    for (const ArrayInfo &a : c.fn.arrays) {
+        c.homes.array_base.push_back(off);
+        off += a.size();
+    }
+    c.machine = MachineConfig::base(n_tiles);
+    CongruenceMap cong(c.fn, block);
+    c.graph = std::make_unique<TaskGraph>(c.fn, block, c.machine, cong,
+                                          *c.repl, *c.live, c.homes);
+    c.part = partition_taskgraph(*c.graph, c.machine,
+                                 PartitionOptions{});
+    c.paths = build_comm_paths(*c.graph, c.part, c.machine, -1, {});
+    c.sched = schedule_block(*c.graph, c.part, c.machine, c.paths,
+                             SchedOptions{});
+    return c;
+}
+
+const char *kSpread = R"(
+float A[8];
+float B[8];
+A[0] = 1.0; A[1] = 2.0; A[2] = 3.0; A[3] = 4.0;
+A[4] = 5.0; A[5] = 6.0; A[6] = 7.0; A[7] = 8.0;
+B[0] = A[0] * A[1] + A[2];
+B[1] = A[3] * A[4] + A[5];
+B[2] = A[6] * A[7] + A[0];
+B[3] = A[1] + A[4] + A[7];
+)";
+
+TEST(Scheduler, OneItemPerTilePerCycle)
+{
+    Ctx c = schedule(kSpread, 4);
+    for (int t = 0; t < 4; t++) {
+        std::set<int64_t> used;
+        for (const TileItem &it : c.sched.tiles[t])
+            EXPECT_TRUE(used.insert(it.cycle).second)
+                << "double-booked processor slot, tile " << t;
+    }
+}
+
+TEST(Scheduler, SwitchPortExclusivity)
+{
+    Ctx c = schedule(kSpread, 4);
+    for (int t = 0; t < 4; t++) {
+        std::map<int64_t, uint8_t> in_used, out_used;
+        for (const SwitchItem &it : c.sched.switches[t]) {
+            uint8_t in_bit = static_cast<uint8_t>(
+                1u << static_cast<int>(it.in));
+            EXPECT_EQ(in_used[it.cycle] & in_bit, 0)
+                << "input port reused, tile " << t;
+            EXPECT_EQ(out_used[it.cycle] & it.out_mask, 0)
+                << "output port collision, tile " << t;
+            in_used[it.cycle] |= in_bit;
+            out_used[it.cycle] |= it.out_mask;
+        }
+    }
+}
+
+TEST(Scheduler, ComputeRespectsDataDependences)
+{
+    Ctx c = schedule(kSpread, 4);
+    // Map node -> issue cycle and finish.
+    std::map<int, int64_t> issue;
+    for (int t = 0; t < 4; t++)
+        for (const TileItem &it : c.sched.tiles[t])
+            if (it.kind == TileItem::Kind::kCompute)
+                issue[it.node] = it.cycle;
+    for (const TGEdge &e : c.graph->edges()) {
+        if (e.kind != DepKind::kData)
+            continue;
+        if (!issue.count(e.from) || !issue.count(e.to))
+            continue; // imports / cross-tile pairs
+        if (c.part.tile_of[e.from] != c.part.tile_of[e.to])
+            continue;
+        const TGNode &p = c.graph->nodes()[e.from];
+        EXPECT_GE(issue[e.to], issue[e.from] + std::max(1, p.cost))
+            << "consumer issued before producer finished";
+    }
+}
+
+TEST(Scheduler, PathsAreContiguous)
+{
+    Ctx c = schedule(kSpread, 4);
+    // Each send at cycle s implies switch hops at s+1+depth and
+    // receives at s+2+depth.
+    for (int t = 0; t < 4; t++) {
+        for (const TileItem &it : c.sched.tiles[t]) {
+            if (it.kind != TileItem::Kind::kSend)
+                continue;
+            const CommPath &p = c.paths[it.path];
+            RouteTree tree = build_route_tree(c.machine, p);
+            for (const TreeHop &h : tree.hops) {
+                bool found = false;
+                for (const SwitchItem &sw : c.sched.switches[h.tile])
+                    if (sw.path == it.path &&
+                        sw.cycle == it.cycle + 1 + h.depth)
+                        found = true;
+                EXPECT_TRUE(found) << "missing contiguous hop";
+            }
+            for (auto &[tile, depth] : tree.proc_recvs) {
+                bool found = false;
+                for (const TileItem &rv : c.sched.tiles[tile])
+                    if (rv.kind == TileItem::Kind::kRecv &&
+                        rv.path == it.path &&
+                        rv.cycle == it.cycle + 2 + depth)
+                        found = true;
+                EXPECT_TRUE(found) << "missing contiguous recv";
+            }
+        }
+    }
+}
+
+TEST(Scheduler, EveryNodeScheduledExactlyOnce)
+{
+    Ctx c = schedule(kSpread, 4);
+    std::map<int, int> times;
+    for (int t = 0; t < 4; t++)
+        for (const TileItem &it : c.sched.tiles[t])
+            if (it.kind == TileItem::Kind::kCompute) {
+                times[it.node]++;
+                EXPECT_EQ(c.part.tile_of[it.node], t)
+                    << "node on wrong tile";
+            }
+    int instr_nodes = 0;
+    for (const TGNode &nd : c.graph->nodes())
+        if (nd.kind == TGKind::kInstr)
+            instr_nodes++;
+    EXPECT_EQ(static_cast<int>(times.size()), instr_nodes);
+    for (auto &[node, count] : times)
+        EXPECT_EQ(count, 1);
+}
+
+TEST(Scheduler, MakespanCoversEverything)
+{
+    Ctx c = schedule(kSpread, 4);
+    for (int t = 0; t < 4; t++) {
+        for (const TileItem &it : c.sched.tiles[t])
+            EXPECT_LE(it.cycle, c.sched.makespan);
+        for (const SwitchItem &it : c.sched.switches[t])
+            EXPECT_LE(it.cycle, c.sched.makespan);
+    }
+}
+
+TEST(Scheduler, FifoModeStillValid)
+{
+    Ctx c;
+    c.fn = lower_program(parse_program(kSpread));
+    constfold_function(c.fn);
+    rename_function(c.fn);
+    c.repl =
+        std::make_unique<ReplicationAnalysis>(c.fn, 8, 12, true);
+    c.live = std::make_unique<VarLiveness>(c.fn);
+    c.homes.n_tiles = 4;
+    c.homes.var_home.assign(c.fn.values.size(), 0);
+    int64_t off = 0;
+    for (const ArrayInfo &a : c.fn.arrays) {
+        c.homes.array_base.push_back(off);
+        off += a.size();
+    }
+    c.machine = MachineConfig::base(4);
+    CongruenceMap cong(c.fn, 0);
+    c.graph = std::make_unique<TaskGraph>(c.fn, 0, c.machine, cong,
+                                          *c.repl, *c.live, c.homes);
+    c.part = partition_taskgraph(*c.graph, c.machine,
+                                 PartitionOptions{});
+    c.paths = build_comm_paths(*c.graph, c.part, c.machine, -1, {});
+    SchedOptions so;
+    so.fifo_priority = true;
+    BlockSchedule s =
+        schedule_block(*c.graph, c.part, c.machine, c.paths, so);
+    EXPECT_GT(s.makespan, 0);
+}
+
+TEST(CommPaths, OnePathPerProducerWithRemoteConsumers)
+{
+    Ctx c = schedule(kSpread, 4);
+    std::set<int> srcs;
+    for (const CommPath &p : c.paths) {
+        EXPECT_TRUE(srcs.insert(p.src_node).second)
+            << "multiple data paths from one node";
+        EXPECT_FALSE(p.dests.empty());
+        for (const CommDest &d : p.dests)
+            EXPECT_NE(d.tile, p.src_tile);
+    }
+}
+
+TEST(CommPaths, BroadcastCoversAllProcsAndTargetSwitches)
+{
+    Ctx c = schedule(kSpread, 4);
+    // Rebuild with a broadcast from node 0.
+    std::vector<bool> sw(4, true);
+    std::vector<CommPath> paths =
+        build_comm_paths(*c.graph, c.part, c.machine, 0, sw);
+    const CommPath *bc = nullptr;
+    for (const CommPath &p : paths)
+        if (p.broadcast)
+            bc = &p;
+    ASSERT_NE(bc, nullptr);
+    int procs = 0, regs = 0;
+    for (const CommDest &d : bc->dests) {
+        if (d.to_proc)
+            procs++;
+        if (d.to_sw_reg)
+            regs++;
+    }
+    EXPECT_EQ(procs, 3) << "every processor except the source";
+    EXPECT_EQ(regs, 4) << "every switch register";
+}
+
+} // namespace
+} // namespace raw

@@ -1,0 +1,160 @@
+/**
+ * @file
+ * Appendix A property tests: the static ordering property.
+ *
+ * "The result produced by a static schedule is independent of the
+ *  specific timing of the execution ... whether a schedule deadlocks
+ *  is a timing independent property as well."
+ *
+ * We compile a batch of randomly generated programs plus the real
+ * benchmarks, then execute each schedule under many different timing
+ * perturbations (random extra memory latency, different seeds and
+ * rates).  Every run must terminate (no deadlock) and produce
+ * bit-identical memory and print results.
+ */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "harness/harness.hpp"
+
+namespace raw {
+namespace {
+
+/** Deterministic random rawc program generator. */
+std::string
+random_program(uint64_t seed)
+{
+    uint64_t s = seed * 6364136223846793005ULL + 1;
+    auto rnd = [&](int m) {
+        s ^= s << 13;
+        s ^= s >> 7;
+        s ^= s << 17;
+        return static_cast<int>(s % static_cast<uint64_t>(m));
+    };
+    std::ostringstream os;
+    os << "int A[32];\nfloat F[16];\nint i; int t;\n";
+    os << "for (i = 0; i < 32; i = i + 1) { A[i] = (i * "
+       << (1 + rnd(7)) << ") % " << (3 + rnd(9)) << "; }\n";
+    os << "for (i = 0; i < 16; i = i + 1) { F[i] = (float)A[i] * 0."
+       << (1 + rnd(8)) << "; }\n";
+    int n_stmts = 4 + rnd(6);
+    for (int k = 0; k < n_stmts; k++) {
+        switch (rnd(4)) {
+          case 0:
+            os << "for (i = 1; i < " << (8 + rnd(20))
+               << "; i = i + 1) { A[i] = A[i] + A[i-1] * "
+               << (1 + rnd(3)) << "; }\n";
+            break;
+          case 1:
+            os << "for (i = 0; i < 15; i = i + 1) { F[i] = F[i] + "
+                  "F[i+1] * 0.5; }\n";
+            break;
+          case 2:
+            os << "if (A[" << rnd(32) << "] > " << rnd(5)
+               << ") { A[" << rnd(32) << "] = " << rnd(90)
+               << "; } else { A[" << rnd(32) << "] = A[" << rnd(32)
+               << "]; }\n";
+            break;
+          default:
+            os << "t = A[" << rnd(32) << "];\n"
+               << "while (t > 2) { t = t / 2; }\n"
+               << "A[" << rnd(32) << "] = t;\n";
+            break;
+        }
+    }
+    os << "int cs;\ncs = 0;\n"
+       << "for (i = 0; i < 32; i = i + 1) { cs = cs + A[i]; }\n"
+       << "print(cs);\nprint(F[7]);\n";
+    return os.str();
+}
+
+/** Run one compiled program under several timings; all must agree. */
+void
+expect_timing_independent(const CompiledProgram &prog,
+                          const std::string &check_array,
+                          const std::string &label)
+{
+    std::vector<uint32_t> ref_words;
+    std::string ref_prints;
+    int64_t ref_cycles = 0;
+    bool first = true;
+    bool some_timing_differs = false;
+    for (FaultConfig f :
+         {FaultConfig{0.0, 20, 0}, FaultConfig{0.05, 7, 1},
+          FaultConfig{0.3, 23, 2}, FaultConfig{0.3, 23, 77},
+          FaultConfig{0.9, 3, 5}}) {
+        Simulator sim(prog, f);
+        SimResult r;
+        ASSERT_NO_THROW(r = sim.run()) << label << " deadlocked";
+        std::vector<uint32_t> words;
+        if (!check_array.empty() &&
+            prog.find_array(check_array) >= 0)
+            words = sim.read_array(check_array);
+        if (first) {
+            ref_words = words;
+            ref_prints = r.print_text();
+            ref_cycles = r.cycles;
+            first = false;
+        } else {
+            EXPECT_EQ(words, ref_words) << label;
+            EXPECT_EQ(r.print_text(), ref_prints) << label;
+            if (r.cycles != ref_cycles)
+                some_timing_differs = true;
+        }
+    }
+    EXPECT_TRUE(some_timing_differs)
+        << label << ": perturbations should change timing";
+}
+
+class RandomPrograms : public ::testing::TestWithParam<int>
+{};
+
+TEST_P(RandomPrograms, TimingIndependent)
+{
+    std::string src = random_program(GetParam());
+    for (int n : {2, 4, 8}) {
+        CompileOutput out = compile_source(
+            src, MachineConfig::base(n), CompilerOptions{});
+        expect_timing_independent(out.program, "A",
+                                  "random#" +
+                                      std::to_string(GetParam()) +
+                                      "/n" + std::to_string(n));
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, RandomPrograms,
+                         ::testing::Range(1, 13));
+
+TEST(StaticOrdering, BenchmarksUnderFaults)
+{
+    for (const char *name : {"jacobi", "life", "mxm"}) {
+        const BenchmarkProgram &prog = benchmark(name);
+        CompileOutput out = compile_source(
+            prog.source, MachineConfig::base(16), CompilerOptions{});
+        expect_timing_independent(out.program, prog.check_array,
+                                  name);
+    }
+}
+
+TEST(StaticOrdering, RandomProgramsMatchBaseline)
+{
+    // Beyond timing independence: the parallel result equals the
+    // sequential result for the same random programs.
+    for (int seed : {21, 22, 23, 24}) {
+        std::string src = random_program(seed);
+        RunResult base = run_baseline(src, "A");
+        for (int n : {3, 4, 8}) {
+            RunResult par =
+                run_rawcc(src, MachineConfig::base(n), "A");
+            EXPECT_EQ(par.check_words, base.check_words)
+                << "seed " << seed << " n " << n;
+            EXPECT_EQ(par.prints, base.prints)
+                << "seed " << seed << " n " << n;
+        }
+    }
+}
+
+} // namespace
+} // namespace raw

@@ -1,0 +1,216 @@
+/**
+ * @file
+ * rawcc — command-line driver for the Raw compiler and simulator.
+ *
+ * Usage:
+ *   rawcc [options] <file.rawc | benchmark-name>
+ *
+ * Options:
+ *   --tiles N          machine size (default 4)
+ *   --config C         base | inf-reg | 1-cycle      (default base)
+ *   --baseline         compile sequentially instead of with RAWCC
+ *   --dump-ir          print the IR after renaming
+ *   --disasm           print the per-tile / per-switch streams
+ *   --stats            print compile statistics
+ *   --no-run           compile only
+ *   --speedup          also run the sequential baseline and report
+ *   --miss-rate R      inject cache misses with probability R
+ *   --miss-penalty P   extra cycles per miss (default 20)
+ *   --seed S           fault-injection seed
+ *   --no-unroll        disable affine staticization (ablation)
+ *   --no-replication   broadcast every branch (ablation)
+ *   --no-port-fold     keep explicit send/receive instructions
+ *   --list-benchmarks  list the built-in Table 2 programs
+ *
+ * The input is a rawc source file, or the name of a built-in
+ * benchmark (life, vpenta, cholesky, tomcatv, fpppp-kernel, mxm,
+ * jacobi).
+ */
+
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "harness/harness.hpp"
+#include "ir/printer.hpp"
+#include "sim/disasm.hpp"
+
+namespace {
+
+void
+usage()
+{
+    std::fprintf(
+        stderr,
+        "usage: rawcc [options] <file.rawc | benchmark>\n"
+        "  --tiles N --config base|inf-reg|1-cycle --baseline\n"
+        "  --dump-ir --disasm --stats --no-run --speedup\n"
+        "  --miss-rate R --miss-penalty P --seed S\n"
+        "  --no-unroll --no-replication --no-port-fold\n"
+        "  --list-benchmarks\n");
+}
+
+std::string
+load_input(const std::string &arg)
+{
+    for (const raw::BenchmarkProgram &b : raw::benchmark_suite())
+        if (b.name == arg)
+            return b.source;
+    std::ifstream in(arg);
+    if (!in)
+        raw::fatal("cannot open input: " + arg);
+    std::ostringstream os;
+    os << in.rdbuf();
+    return os.str();
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    using namespace raw;
+
+    int tiles = 4;
+    std::string config = "base";
+    std::string input;
+    bool baseline = false, dump_ir = false, disasm = false;
+    bool stats = false, do_run = true, speedup = false;
+    CompilerOptions opts;
+    FaultConfig faults;
+
+    for (int i = 1; i < argc; i++) {
+        std::string a = argv[i];
+        auto next = [&]() -> const char * {
+            if (i + 1 >= argc) {
+                usage();
+                std::exit(2);
+            }
+            return argv[++i];
+        };
+        if (a == "--tiles")
+            tiles = std::atoi(next());
+        else if (a == "--config")
+            config = next();
+        else if (a == "--baseline")
+            baseline = true;
+        else if (a == "--dump-ir")
+            dump_ir = true;
+        else if (a == "--disasm")
+            disasm = true;
+        else if (a == "--stats")
+            stats = true;
+        else if (a == "--no-run")
+            do_run = false;
+        else if (a == "--speedup")
+            speedup = true;
+        else if (a == "--miss-rate")
+            faults.miss_rate = std::atof(next());
+        else if (a == "--miss-penalty")
+            faults.penalty = std::atoi(next());
+        else if (a == "--seed")
+            faults.seed = std::strtoull(next(), nullptr, 10);
+        else if (a == "--no-unroll")
+            opts.unroll.enable = false;
+        else if (a == "--no-replication")
+            opts.orch.enable_replication = false;
+        else if (a == "--no-port-fold")
+            opts.orch.fold_ports = false;
+        else if (a == "--list-benchmarks") {
+            for (const BenchmarkProgram &b : benchmark_suite())
+                std::printf("%-14s %s\n", b.name.c_str(),
+                            b.description.c_str());
+            return 0;
+        } else if (a == "--help" || a == "-h") {
+            usage();
+            return 0;
+        } else if (!a.empty() && a[0] == '-') {
+            std::fprintf(stderr, "unknown option %s\n", a.c_str());
+            usage();
+            return 2;
+        } else {
+            input = a;
+        }
+    }
+    if (input.empty()) {
+        usage();
+        return 2;
+    }
+
+    try {
+        std::string src = load_input(input);
+        MachineConfig machine;
+        if (config == "base")
+            machine = MachineConfig::base(tiles);
+        else if (config == "inf-reg")
+            machine = MachineConfig::inf_reg(tiles);
+        else if (config == "1-cycle")
+            machine = MachineConfig::one_cycle(tiles);
+        else
+            fatal("unknown config: " + config);
+
+        CompileOutput out =
+            baseline ? compile_baseline_for(
+                           src, config == "base"
+                                    ? MachineConfig::base(1)
+                                    : (config == "inf-reg"
+                                           ? MachineConfig::inf_reg(1)
+                                           : MachineConfig::one_cycle(
+                                                 1)))
+                     : compile_source(src, machine, opts);
+
+        if (dump_ir)
+            std::printf("%s\n", print_function(out.fn).c_str());
+        if (disasm)
+            std::printf("%s\n",
+                        disasm_program(out.program).c_str());
+        if (stats) {
+            std::printf("machine:             %s\n",
+                        out.program.machine.name().c_str());
+            std::printf("IR instructions:     %lld\n",
+                        static_cast<long long>(out.stats.ir_instrs));
+            std::printf("machine instrs:      %lld\n",
+                        static_cast<long long>(
+                            out.stats.static_instrs));
+            std::printf("loops u/p:           %d/%d of %d\n",
+                        out.stats.unroll.loops_unrolled,
+                        out.stats.unroll.loops_peeled,
+                        out.stats.unroll.loops_seen);
+            std::printf("dynamic refs:        %d\n",
+                        out.stats.dynamic_refs);
+            std::printf("branches repl/bcast: %d/%d\n",
+                        out.stats.replicated_branches,
+                        out.stats.broadcast_branches);
+            std::printf("spill ops:           %lld\n",
+                        static_cast<long long>(out.stats.spill_ops));
+            std::printf("folded port ops:     %d\n",
+                        out.stats.folded_port_ops);
+        }
+        if (!do_run)
+            return 0;
+
+        Simulator sim(out.program, faults);
+        SimResult r = sim.run();
+        std::fputs(r.print_text().c_str(), stdout);
+        std::printf("[%lld cycles, %lld instrs, %lld words routed, "
+                    "%lld dynamic msgs]\n",
+                    static_cast<long long>(r.cycles),
+                    static_cast<long long>(r.instrs_executed),
+                    static_cast<long long>(r.words_routed),
+                    static_cast<long long>(r.dyn_messages));
+
+        if (speedup && !baseline) {
+            RunResult base = run_baseline(src);
+            std::printf("baseline: %lld cycles -> speedup %.2f\n",
+                        static_cast<long long>(base.cycles),
+                        static_cast<double>(base.cycles) /
+                            static_cast<double>(r.cycles));
+        }
+        return 0;
+    } catch (const std::exception &e) {
+        std::fprintf(stderr, "rawcc: %s\n", e.what());
+        return 1;
+    }
+}
