@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_homes.dir/bench_ablation_homes.cpp.o"
+  "CMakeFiles/bench_ablation_homes.dir/bench_ablation_homes.cpp.o.d"
+  "bench_ablation_homes"
+  "bench_ablation_homes.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_homes.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

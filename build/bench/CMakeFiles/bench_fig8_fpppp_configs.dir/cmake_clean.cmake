@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig8_fpppp_configs.dir/bench_fig8_fpppp_configs.cpp.o"
+  "CMakeFiles/bench_fig8_fpppp_configs.dir/bench_fig8_fpppp_configs.cpp.o.d"
+  "bench_fig8_fpppp_configs"
+  "bench_fig8_fpppp_configs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig8_fpppp_configs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

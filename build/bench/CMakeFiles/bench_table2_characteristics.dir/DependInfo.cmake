@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_table2_characteristics.cpp" "bench/CMakeFiles/bench_table2_characteristics.dir/bench_table2_characteristics.cpp.o" "gcc" "bench/CMakeFiles/bench_table2_characteristics.dir/bench_table2_characteristics.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/raw_harness.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/raw_baseline.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/raw_rawcc.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/raw_schedule.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/raw_partition.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/raw_analysis.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/raw_transform.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/raw_frontend.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/raw_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/raw_ir.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/raw_machine.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/raw_programs.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/raw_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

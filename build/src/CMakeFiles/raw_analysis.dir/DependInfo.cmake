@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/analysis/liveness.cpp" "src/CMakeFiles/raw_analysis.dir/analysis/liveness.cpp.o" "gcc" "src/CMakeFiles/raw_analysis.dir/analysis/liveness.cpp.o.d"
+  "/root/repo/src/analysis/replication.cpp" "src/CMakeFiles/raw_analysis.dir/analysis/replication.cpp.o" "gcc" "src/CMakeFiles/raw_analysis.dir/analysis/replication.cpp.o.d"
+  "/root/repo/src/analysis/taskgraph.cpp" "src/CMakeFiles/raw_analysis.dir/analysis/taskgraph.cpp.o" "gcc" "src/CMakeFiles/raw_analysis.dir/analysis/taskgraph.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/raw_transform.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/raw_machine.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/raw_ir.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/raw_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/raw_analysis.dir/analysis/liveness.cpp.o"
+  "CMakeFiles/raw_analysis.dir/analysis/liveness.cpp.o.d"
+  "CMakeFiles/raw_analysis.dir/analysis/replication.cpp.o"
+  "CMakeFiles/raw_analysis.dir/analysis/replication.cpp.o.d"
+  "CMakeFiles/raw_analysis.dir/analysis/taskgraph.cpp.o"
+  "CMakeFiles/raw_analysis.dir/analysis/taskgraph.cpp.o.d"
+  "libraw_analysis.a"
+  "libraw_analysis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/raw_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

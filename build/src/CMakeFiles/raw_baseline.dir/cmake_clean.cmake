@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/raw_baseline.dir/baseline/baseline.cpp.o"
+  "CMakeFiles/raw_baseline.dir/baseline/baseline.cpp.o.d"
+  "libraw_baseline.a"
+  "libraw_baseline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/raw_baseline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

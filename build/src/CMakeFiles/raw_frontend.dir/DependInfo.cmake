@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/frontend/ast.cpp" "src/CMakeFiles/raw_frontend.dir/frontend/ast.cpp.o" "gcc" "src/CMakeFiles/raw_frontend.dir/frontend/ast.cpp.o.d"
+  "/root/repo/src/frontend/lexer.cpp" "src/CMakeFiles/raw_frontend.dir/frontend/lexer.cpp.o" "gcc" "src/CMakeFiles/raw_frontend.dir/frontend/lexer.cpp.o.d"
+  "/root/repo/src/frontend/lower.cpp" "src/CMakeFiles/raw_frontend.dir/frontend/lower.cpp.o" "gcc" "src/CMakeFiles/raw_frontend.dir/frontend/lower.cpp.o.d"
+  "/root/repo/src/frontend/parser.cpp" "src/CMakeFiles/raw_frontend.dir/frontend/parser.cpp.o" "gcc" "src/CMakeFiles/raw_frontend.dir/frontend/parser.cpp.o.d"
+  "/root/repo/src/frontend/unroll.cpp" "src/CMakeFiles/raw_frontend.dir/frontend/unroll.cpp.o" "gcc" "src/CMakeFiles/raw_frontend.dir/frontend/unroll.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/raw_ir.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/raw_machine.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/raw_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/raw_frontend.dir/frontend/ast.cpp.o"
+  "CMakeFiles/raw_frontend.dir/frontend/ast.cpp.o.d"
+  "CMakeFiles/raw_frontend.dir/frontend/lexer.cpp.o"
+  "CMakeFiles/raw_frontend.dir/frontend/lexer.cpp.o.d"
+  "CMakeFiles/raw_frontend.dir/frontend/lower.cpp.o"
+  "CMakeFiles/raw_frontend.dir/frontend/lower.cpp.o.d"
+  "CMakeFiles/raw_frontend.dir/frontend/parser.cpp.o"
+  "CMakeFiles/raw_frontend.dir/frontend/parser.cpp.o.d"
+  "CMakeFiles/raw_frontend.dir/frontend/unroll.cpp.o"
+  "CMakeFiles/raw_frontend.dir/frontend/unroll.cpp.o.d"
+  "libraw_frontend.a"
+  "libraw_frontend.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/raw_frontend.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/raw_harness.dir/harness/harness.cpp.o"
+  "CMakeFiles/raw_harness.dir/harness/harness.cpp.o.d"
+  "libraw_harness.a"
+  "libraw_harness.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/raw_harness.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/ir/builder.cpp" "src/CMakeFiles/raw_ir.dir/ir/builder.cpp.o" "gcc" "src/CMakeFiles/raw_ir.dir/ir/builder.cpp.o.d"
+  "/root/repo/src/ir/eval.cpp" "src/CMakeFiles/raw_ir.dir/ir/eval.cpp.o" "gcc" "src/CMakeFiles/raw_ir.dir/ir/eval.cpp.o.d"
+  "/root/repo/src/ir/function.cpp" "src/CMakeFiles/raw_ir.dir/ir/function.cpp.o" "gcc" "src/CMakeFiles/raw_ir.dir/ir/function.cpp.o.d"
+  "/root/repo/src/ir/instr.cpp" "src/CMakeFiles/raw_ir.dir/ir/instr.cpp.o" "gcc" "src/CMakeFiles/raw_ir.dir/ir/instr.cpp.o.d"
+  "/root/repo/src/ir/opcode.cpp" "src/CMakeFiles/raw_ir.dir/ir/opcode.cpp.o" "gcc" "src/CMakeFiles/raw_ir.dir/ir/opcode.cpp.o.d"
+  "/root/repo/src/ir/printer.cpp" "src/CMakeFiles/raw_ir.dir/ir/printer.cpp.o" "gcc" "src/CMakeFiles/raw_ir.dir/ir/printer.cpp.o.d"
+  "/root/repo/src/ir/type.cpp" "src/CMakeFiles/raw_ir.dir/ir/type.cpp.o" "gcc" "src/CMakeFiles/raw_ir.dir/ir/type.cpp.o.d"
+  "/root/repo/src/ir/verifier.cpp" "src/CMakeFiles/raw_ir.dir/ir/verifier.cpp.o" "gcc" "src/CMakeFiles/raw_ir.dir/ir/verifier.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/raw_machine.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/raw_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

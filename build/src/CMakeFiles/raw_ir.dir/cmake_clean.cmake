@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/raw_ir.dir/ir/builder.cpp.o"
+  "CMakeFiles/raw_ir.dir/ir/builder.cpp.o.d"
+  "CMakeFiles/raw_ir.dir/ir/eval.cpp.o"
+  "CMakeFiles/raw_ir.dir/ir/eval.cpp.o.d"
+  "CMakeFiles/raw_ir.dir/ir/function.cpp.o"
+  "CMakeFiles/raw_ir.dir/ir/function.cpp.o.d"
+  "CMakeFiles/raw_ir.dir/ir/instr.cpp.o"
+  "CMakeFiles/raw_ir.dir/ir/instr.cpp.o.d"
+  "CMakeFiles/raw_ir.dir/ir/opcode.cpp.o"
+  "CMakeFiles/raw_ir.dir/ir/opcode.cpp.o.d"
+  "CMakeFiles/raw_ir.dir/ir/printer.cpp.o"
+  "CMakeFiles/raw_ir.dir/ir/printer.cpp.o.d"
+  "CMakeFiles/raw_ir.dir/ir/type.cpp.o"
+  "CMakeFiles/raw_ir.dir/ir/type.cpp.o.d"
+  "CMakeFiles/raw_ir.dir/ir/verifier.cpp.o"
+  "CMakeFiles/raw_ir.dir/ir/verifier.cpp.o.d"
+  "libraw_ir.a"
+  "libraw_ir.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/raw_ir.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/raw_machine.dir/machine/machine.cpp.o"
+  "CMakeFiles/raw_machine.dir/machine/machine.cpp.o.d"
+  "libraw_machine.a"
+  "libraw_machine.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/raw_machine.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/raw_partition.dir/partition/cluster.cpp.o"
+  "CMakeFiles/raw_partition.dir/partition/cluster.cpp.o.d"
+  "CMakeFiles/raw_partition.dir/partition/merge.cpp.o"
+  "CMakeFiles/raw_partition.dir/partition/merge.cpp.o.d"
+  "CMakeFiles/raw_partition.dir/partition/place.cpp.o"
+  "CMakeFiles/raw_partition.dir/partition/place.cpp.o.d"
+  "libraw_partition.a"
+  "libraw_partition.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/raw_partition.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

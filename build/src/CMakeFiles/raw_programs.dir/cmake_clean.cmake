@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/raw_programs.dir/programs/fpppp_gen.cpp.o"
+  "CMakeFiles/raw_programs.dir/programs/fpppp_gen.cpp.o.d"
+  "CMakeFiles/raw_programs.dir/programs/programs.cpp.o"
+  "CMakeFiles/raw_programs.dir/programs/programs.cpp.o.d"
+  "libraw_programs.a"
+  "libraw_programs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/raw_programs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

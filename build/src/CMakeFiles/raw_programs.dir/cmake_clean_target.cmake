@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libraw_programs.a"
+)

@@ -1,0 +1,33 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/rawcc/compiler.cpp" "src/CMakeFiles/raw_rawcc.dir/rawcc/compiler.cpp.o" "gcc" "src/CMakeFiles/raw_rawcc.dir/rawcc/compiler.cpp.o.d"
+  "/root/repo/src/rawcc/data_partitioner.cpp" "src/CMakeFiles/raw_rawcc.dir/rawcc/data_partitioner.cpp.o" "gcc" "src/CMakeFiles/raw_rawcc.dir/rawcc/data_partitioner.cpp.o.d"
+  "/root/repo/src/rawcc/linker.cpp" "src/CMakeFiles/raw_rawcc.dir/rawcc/linker.cpp.o" "gcc" "src/CMakeFiles/raw_rawcc.dir/rawcc/linker.cpp.o.d"
+  "/root/repo/src/rawcc/orchestrater.cpp" "src/CMakeFiles/raw_rawcc.dir/rawcc/orchestrater.cpp.o" "gcc" "src/CMakeFiles/raw_rawcc.dir/rawcc/orchestrater.cpp.o.d"
+  "/root/repo/src/rawcc/portfold.cpp" "src/CMakeFiles/raw_rawcc.dir/rawcc/portfold.cpp.o" "gcc" "src/CMakeFiles/raw_rawcc.dir/rawcc/portfold.cpp.o.d"
+  "/root/repo/src/rawcc/regalloc.cpp" "src/CMakeFiles/raw_rawcc.dir/rawcc/regalloc.cpp.o" "gcc" "src/CMakeFiles/raw_rawcc.dir/rawcc/regalloc.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/raw_schedule.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/raw_transform.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/raw_frontend.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/raw_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/raw_partition.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/raw_analysis.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/raw_ir.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/raw_machine.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/raw_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/raw_rawcc.dir/rawcc/compiler.cpp.o"
+  "CMakeFiles/raw_rawcc.dir/rawcc/compiler.cpp.o.d"
+  "CMakeFiles/raw_rawcc.dir/rawcc/data_partitioner.cpp.o"
+  "CMakeFiles/raw_rawcc.dir/rawcc/data_partitioner.cpp.o.d"
+  "CMakeFiles/raw_rawcc.dir/rawcc/linker.cpp.o"
+  "CMakeFiles/raw_rawcc.dir/rawcc/linker.cpp.o.d"
+  "CMakeFiles/raw_rawcc.dir/rawcc/orchestrater.cpp.o"
+  "CMakeFiles/raw_rawcc.dir/rawcc/orchestrater.cpp.o.d"
+  "CMakeFiles/raw_rawcc.dir/rawcc/portfold.cpp.o"
+  "CMakeFiles/raw_rawcc.dir/rawcc/portfold.cpp.o.d"
+  "CMakeFiles/raw_rawcc.dir/rawcc/regalloc.cpp.o"
+  "CMakeFiles/raw_rawcc.dir/rawcc/regalloc.cpp.o.d"
+  "libraw_rawcc.a"
+  "libraw_rawcc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/raw_rawcc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/raw_schedule.dir/schedule/comm.cpp.o"
+  "CMakeFiles/raw_schedule.dir/schedule/comm.cpp.o.d"
+  "CMakeFiles/raw_schedule.dir/schedule/event_scheduler.cpp.o"
+  "CMakeFiles/raw_schedule.dir/schedule/event_scheduler.cpp.o.d"
+  "libraw_schedule.a"
+  "libraw_schedule.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/raw_schedule.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sim/disasm.cpp" "src/CMakeFiles/raw_sim.dir/sim/disasm.cpp.o" "gcc" "src/CMakeFiles/raw_sim.dir/sim/disasm.cpp.o.d"
+  "/root/repo/src/sim/dynamic_network.cpp" "src/CMakeFiles/raw_sim.dir/sim/dynamic_network.cpp.o" "gcc" "src/CMakeFiles/raw_sim.dir/sim/dynamic_network.cpp.o.d"
+  "/root/repo/src/sim/isa.cpp" "src/CMakeFiles/raw_sim.dir/sim/isa.cpp.o" "gcc" "src/CMakeFiles/raw_sim.dir/sim/isa.cpp.o.d"
+  "/root/repo/src/sim/memory.cpp" "src/CMakeFiles/raw_sim.dir/sim/memory.cpp.o" "gcc" "src/CMakeFiles/raw_sim.dir/sim/memory.cpp.o.d"
+  "/root/repo/src/sim/processor.cpp" "src/CMakeFiles/raw_sim.dir/sim/processor.cpp.o" "gcc" "src/CMakeFiles/raw_sim.dir/sim/processor.cpp.o.d"
+  "/root/repo/src/sim/simulator.cpp" "src/CMakeFiles/raw_sim.dir/sim/simulator.cpp.o" "gcc" "src/CMakeFiles/raw_sim.dir/sim/simulator.cpp.o.d"
+  "/root/repo/src/sim/switch.cpp" "src/CMakeFiles/raw_sim.dir/sim/switch.cpp.o" "gcc" "src/CMakeFiles/raw_sim.dir/sim/switch.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/raw_ir.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/raw_machine.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/raw_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

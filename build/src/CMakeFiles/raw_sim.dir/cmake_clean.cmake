@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/raw_sim.dir/sim/disasm.cpp.o"
+  "CMakeFiles/raw_sim.dir/sim/disasm.cpp.o.d"
+  "CMakeFiles/raw_sim.dir/sim/dynamic_network.cpp.o"
+  "CMakeFiles/raw_sim.dir/sim/dynamic_network.cpp.o.d"
+  "CMakeFiles/raw_sim.dir/sim/isa.cpp.o"
+  "CMakeFiles/raw_sim.dir/sim/isa.cpp.o.d"
+  "CMakeFiles/raw_sim.dir/sim/memory.cpp.o"
+  "CMakeFiles/raw_sim.dir/sim/memory.cpp.o.d"
+  "CMakeFiles/raw_sim.dir/sim/processor.cpp.o"
+  "CMakeFiles/raw_sim.dir/sim/processor.cpp.o.d"
+  "CMakeFiles/raw_sim.dir/sim/simulator.cpp.o"
+  "CMakeFiles/raw_sim.dir/sim/simulator.cpp.o.d"
+  "CMakeFiles/raw_sim.dir/sim/switch.cpp.o"
+  "CMakeFiles/raw_sim.dir/sim/switch.cpp.o.d"
+  "libraw_sim.a"
+  "libraw_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/raw_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

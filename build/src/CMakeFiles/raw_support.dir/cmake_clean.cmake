@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/raw_support.dir/support/error.cpp.o"
+  "CMakeFiles/raw_support.dir/support/error.cpp.o.d"
+  "CMakeFiles/raw_support.dir/support/mathutil.cpp.o"
+  "CMakeFiles/raw_support.dir/support/mathutil.cpp.o.d"
+  "libraw_support.a"
+  "libraw_support.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/raw_support.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/transform/congruence.cpp" "src/CMakeFiles/raw_transform.dir/transform/congruence.cpp.o" "gcc" "src/CMakeFiles/raw_transform.dir/transform/congruence.cpp.o.d"
+  "/root/repo/src/transform/constfold.cpp" "src/CMakeFiles/raw_transform.dir/transform/constfold.cpp.o" "gcc" "src/CMakeFiles/raw_transform.dir/transform/constfold.cpp.o.d"
+  "/root/repo/src/transform/rename.cpp" "src/CMakeFiles/raw_transform.dir/transform/rename.cpp.o" "gcc" "src/CMakeFiles/raw_transform.dir/transform/rename.cpp.o.d"
+  "/root/repo/src/transform/simplify.cpp" "src/CMakeFiles/raw_transform.dir/transform/simplify.cpp.o" "gcc" "src/CMakeFiles/raw_transform.dir/transform/simplify.cpp.o.d"
+  "/root/repo/src/transform/split.cpp" "src/CMakeFiles/raw_transform.dir/transform/split.cpp.o" "gcc" "src/CMakeFiles/raw_transform.dir/transform/split.cpp.o.d"
+  "/root/repo/src/transform/strength.cpp" "src/CMakeFiles/raw_transform.dir/transform/strength.cpp.o" "gcc" "src/CMakeFiles/raw_transform.dir/transform/strength.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/raw_ir.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/raw_machine.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/raw_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/raw_transform.dir/transform/congruence.cpp.o"
+  "CMakeFiles/raw_transform.dir/transform/congruence.cpp.o.d"
+  "CMakeFiles/raw_transform.dir/transform/constfold.cpp.o"
+  "CMakeFiles/raw_transform.dir/transform/constfold.cpp.o.d"
+  "CMakeFiles/raw_transform.dir/transform/rename.cpp.o"
+  "CMakeFiles/raw_transform.dir/transform/rename.cpp.o.d"
+  "CMakeFiles/raw_transform.dir/transform/simplify.cpp.o"
+  "CMakeFiles/raw_transform.dir/transform/simplify.cpp.o.d"
+  "CMakeFiles/raw_transform.dir/transform/split.cpp.o"
+  "CMakeFiles/raw_transform.dir/transform/split.cpp.o.d"
+  "CMakeFiles/raw_transform.dir/transform/strength.cpp.o"
+  "CMakeFiles/raw_transform.dir/transform/strength.cpp.o.d"
+  "libraw_transform.a"
+  "libraw_transform.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/raw_transform.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_dynnet.dir/test_dynnet.cpp.o"
+  "CMakeFiles/test_dynnet.dir/test_dynnet.cpp.o.d"
+  "test_dynnet"
+  "test_dynnet.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_dynnet.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_endtoend.dir/test_endtoend.cpp.o"
+  "CMakeFiles/test_endtoend.dir/test_endtoend.cpp.o.d"
+  "test_endtoend"
+  "test_endtoend.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_endtoend.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

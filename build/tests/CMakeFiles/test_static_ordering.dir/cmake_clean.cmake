@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_static_ordering.dir/test_static_ordering.cpp.o"
+  "CMakeFiles/test_static_ordering.dir/test_static_ordering.cpp.o.d"
+  "test_static_ordering"
+  "test_static_ordering.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_static_ordering.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_unroll.dir/test_unroll.cpp.o"
+  "CMakeFiles/test_unroll.dir/test_unroll.cpp.o.d"
+  "test_unroll"
+  "test_unroll.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_unroll.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rawcc.dir/rawcc_main.cpp.o"
+  "CMakeFiles/rawcc.dir/rawcc_main.cpp.o.d"
+  "rawcc"
+  "rawcc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rawcc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
