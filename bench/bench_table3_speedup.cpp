@@ -4,18 +4,25 @@
  * versus the sequential baseline ("Machsuif Mips compiler"), for
  * N = 1, 2, 4, 8, 16, 32 tiles.
  *
- * Prints the paper-format table, then (optionally) runs
- * google-benchmark timings of the compile+simulate pipeline when
- * invoked with --gbench.
+ * Prints the paper-format table and writes a machine-readable
+ * BENCH_table3.json (override the path with --json-out) with cycles,
+ * speedup and the profiled occupancy breakdown per benchmark and
+ * machine size — the seed of the perf trajectory (see
+ * docs/profiling.md).  With --gbench it additionally runs
+ * google-benchmark timings of the compile+simulate pipeline.
  */
 
 #include <cstdio>
 #include <cstring>
+#include <fstream>
 #include <map>
+#include <string>
+#include <vector>
 
 #include <benchmark/benchmark.h>
 
 #include "harness/harness.hpp"
+#include "sim/profile.hpp"
 
 namespace {
 
@@ -32,26 +39,48 @@ const std::map<std::string, std::array<double, 6>> kPaper = {
     {"jacobi", {0.97, 1.6, 3.4, 5.6, 15, 22}},
 };
 
-void
-print_table()
+/** One (benchmark, machine size) measurement. */
+struct SizeResult
 {
-    std::printf("Table 3: Benchmark Speedup (RAWCC vs. sequential "
-                "baseline)\n");
-    std::printf("%-14s", "Benchmark");
-    for (int n : kSizes)
-        std::printf("  N=%-7d", n);
-    std::printf("\n");
+    int tiles = 0;
+    int64_t cycles = 0;
+    double speedup = 0;
+    /** Proc cycle-category totals summed over tiles. */
+    std::array<int64_t, raw::kNumProcCycleCats> occupancy{};
+};
+
+struct BenchResult
+{
+    std::string name;
+    int64_t baseline_cycles = 0;
+    std::vector<SizeResult> sizes;
+};
+
+std::vector<BenchResult>
+measure()
+{
+    std::vector<BenchResult> out;
     for (const raw::BenchmarkProgram &prog : raw::benchmark_suite()) {
         raw::RunResult base =
             raw::run_baseline(prog.source, prog.check_array);
+        BenchResult br;
+        br.name = prog.name;
+        br.baseline_cycles = base.cycles;
         std::printf("%-14s", prog.name.c_str());
         for (int n : kSizes) {
             raw::RunResult par = raw::run_rawcc(
                 prog.source, raw::MachineConfig::base(n),
                 prog.check_array);
-            double s = static_cast<double>(base.cycles) /
-                       static_cast<double>(par.cycles);
-            std::printf("  %-9.2f", s);
+            SizeResult sr;
+            sr.tiles = n;
+            sr.cycles = par.cycles;
+            sr.speedup = static_cast<double>(base.cycles) /
+                         static_cast<double>(par.cycles);
+            for (const raw::TileProfile &tp : par.sim.profile.tiles)
+                for (int c = 0; c < raw::kNumProcCycleCats; c++)
+                    sr.occupancy[c] += tp.proc_cycles[c];
+            br.sizes.push_back(sr);
+            std::printf("  %-9.2f", sr.speedup);
             std::fflush(stdout);
         }
         std::printf("   (seq RT %lld cycles)\n",
@@ -67,7 +96,52 @@ print_table()
             }
             std::printf("\n");
         }
+        out.push_back(std::move(br));
     }
+    return out;
+}
+
+void
+write_json(const std::string &path,
+           const std::vector<BenchResult> &results)
+{
+    std::ofstream out(path);
+    if (!out) {
+        std::fprintf(stderr, "cannot open %s for writing\n",
+                     path.c_str());
+        std::exit(1);
+    }
+    out << "{\n  \"table\": \"table3_speedup\",\n  \"sizes\": [";
+    for (size_t i = 0; i < std::size(kSizes); i++)
+        out << (i ? ", " : "") << kSizes[i];
+    out << "],\n  \"benchmarks\": [\n";
+    for (size_t b = 0; b < results.size(); b++) {
+        const BenchResult &br = results[b];
+        out << "    {\n      \"name\": \"" << br.name << "\",\n"
+            << "      \"baseline_cycles\": " << br.baseline_cycles
+            << ",\n      \"results\": [\n";
+        for (size_t s = 0; s < br.sizes.size(); s++) {
+            const SizeResult &sr = br.sizes[s];
+            char speedup[32];
+            std::snprintf(speedup, sizeof(speedup), "%.4f",
+                          sr.speedup);
+            out << "        {\"tiles\": " << sr.tiles
+                << ", \"cycles\": " << sr.cycles
+                << ", \"speedup\": " << speedup
+                << ", \"occupancy\": {";
+            for (int c = 0; c < raw::kNumProcCycleCats; c++)
+                out << (c ? ", " : "") << "\""
+                    << raw::proc_cycle_name(
+                           static_cast<raw::ProcCycle>(c))
+                    << "\": " << sr.occupancy[c];
+            out << "}}" << (s + 1 < br.sizes.size() ? "," : "")
+                << "\n";
+        }
+        out << "      ]\n    }"
+            << (b + 1 < results.size() ? "," : "") << "\n";
+    }
+    out << "  ]\n}\n";
+    std::printf("wrote %s\n", path.c_str());
 }
 
 void
@@ -90,11 +164,23 @@ int
 main(int argc, char **argv)
 {
     bool gbench = false;
-    for (int i = 1; i < argc; i++)
+    std::string json_out = "BENCH_table3.json";
+    for (int i = 1; i < argc; i++) {
         if (std::strcmp(argv[i], "--gbench") == 0)
             gbench = true;
+        else if (std::strcmp(argv[i], "--json-out") == 0 &&
+                 i + 1 < argc)
+            json_out = argv[++i];
+    }
 
-    print_table();
+    std::printf("Table 3: Benchmark Speedup (RAWCC vs. sequential "
+                "baseline)\n");
+    std::printf("%-14s", "Benchmark");
+    for (int n : kSizes)
+        std::printf("  N=%-7d", n);
+    std::printf("\n");
+    std::vector<BenchResult> results = measure();
+    write_json(json_out, results);
     if (!gbench)
         return 0;
 

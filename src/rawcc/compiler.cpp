@@ -1,5 +1,8 @@
 #include "rawcc/compiler.hpp"
 
+#include <chrono>
+#include <numeric>
+
 #include "frontend/lower.hpp"
 #include "frontend/parser.hpp"
 #include "ir/verifier.hpp"
@@ -12,12 +15,37 @@
 
 namespace raw {
 
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+/** Milliseconds elapsed since @p t0, advancing @p t0 to now. */
+double
+lap_ms(Clock::time_point &t0)
+{
+    Clock::time_point t1 = Clock::now();
+    double ms = std::chrono::duration<double, std::milli>(t1 - t0)
+                    .count();
+    t0 = t1;
+    return ms;
+}
+
+} // namespace
+
+int64_t
+CompileStats::estimated_makespan() const
+{
+    return std::accumulate(block_makespan.begin(),
+                           block_makespan.end(), int64_t{0});
+}
+
 CompileOutput
 compile_function(Function fn, const MachineConfig &machine,
                  const CompilerOptions &opts)
 {
     machine.validate();
     CompileOutput out;
+    Clock::time_point t0 = Clock::now();
 
     // Malformed input must fail cleanly before any transform touches
     // it (the passes assume structurally valid blocks).
@@ -36,6 +64,7 @@ compile_function(Function fn, const MachineConfig &machine,
     if (opts.verify_ir)
         verify_or_panic(fn, "rename");
     out.stats.ir_instrs = static_cast<int64_t>(fn.num_instrs());
+    out.stats.timings.transform_ms = lap_ms(t0);
 
     OrchestraterOptions orch_opts = opts.orch;
     if (opts.smart_homes && orch_opts.var_home_override.empty()) {
@@ -56,10 +85,12 @@ compile_function(Function fn, const MachineConfig &machine,
         }
     }
     VirtualProgram vp = orchestrate(fn, machine, orch_opts);
+    out.stats.timings.orchestrate_ms = lap_ms(t0);
     if (opts.orch.fold_ports)
         out.stats.folded_port_ops = fold_port_operands(vp, fn);
     LinkStats ls;
     out.program = link_program(fn, vp, machine, &ls);
+    out.stats.timings.link_ms = lap_ms(t0);
 
     out.stats.dynamic_refs = vp.dynamic_refs;
     out.stats.replicated_branches = vp.replicated_branches;
@@ -67,6 +98,10 @@ compile_function(Function fn, const MachineConfig &machine,
     out.stats.spill_ops = ls.spill_ops;
     out.stats.static_instrs = out.program.static_instrs();
     out.stats.block_makespan = vp.block_makespan;
+    out.stats.est_tile_busy = vp.est_tile_busy;
+    out.stats.timings.total_ms = out.stats.timings.transform_ms +
+                                 out.stats.timings.orchestrate_ms +
+                                 out.stats.timings.link_ms;
     out.fn = std::move(fn);
     return out;
 }
@@ -76,15 +111,23 @@ compile_source(const std::string &source, const MachineConfig &machine,
                const CompilerOptions &opts)
 {
     machine.validate();
+    Clock::time_point t0 = Clock::now();
     Program ast = parse_program(source);
+    double parse_ms = lap_ms(t0);
     UnrollOptions uo = opts.unroll;
     uo.n_tiles = machine.n_tiles;
     UnrollStats us = unroll_program(ast, uo);
+    double unroll_ms = lap_ms(t0);
     Function fn = lower_program(ast);
     if (opts.verify_ir)
         verify_or_panic(fn, "lowering");
+    double lower_ms = lap_ms(t0);
     CompileOutput out = compile_function(std::move(fn), machine, opts);
     out.stats.unroll = us;
+    out.stats.timings.parse_ms = parse_ms;
+    out.stats.timings.unroll_ms = unroll_ms;
+    out.stats.timings.lower_ms = lower_ms;
+    out.stats.timings.total_ms += parse_ms + unroll_ms + lower_ms;
     return out;
 }
 

@@ -49,6 +49,18 @@ struct CompilerOptions
     bool smart_homes = false;
 };
 
+/** Wall-clock timing of each compile stage (milliseconds). */
+struct PhaseTimings
+{
+    double parse_ms = 0;
+    double unroll_ms = 0;
+    double lower_ms = 0;
+    double transform_ms = 0;
+    double orchestrate_ms = 0;
+    double link_ms = 0;
+    double total_ms = 0;
+};
+
 /** Compilation statistics (consumed by benches and tests). */
 struct CompileStats
 {
@@ -62,6 +74,13 @@ struct CompileStats
     int64_t static_instrs = 0;
     /** Scheduler makespan estimate per block. */
     std::vector<int64_t> block_makespan;
+    /** Scheduler-estimated issue slots per tile (all blocks). */
+    std::vector<int64_t> est_tile_busy;
+    /** Per-stage compile time. */
+    PhaseTimings timings;
+
+    /** Sum of the per-block makespan estimates. */
+    int64_t estimated_makespan() const;
 };
 
 /** Result of a compilation. */

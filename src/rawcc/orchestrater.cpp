@@ -241,6 +241,9 @@ orchestrate(Function &fn, const MachineConfig &machine,
                                              machine, paths,
                                              opts.sched);
         vp.block_makespan.push_back(sched.makespan);
+        vp.est_tile_busy.resize(n_tiles, 0);
+        for (int t = 0; t < n_tiles; t++)
+            vp.est_tile_busy[t] += sched.tile_busy[t];
         TailTemplate tail = build_tail(fn, b, repl);
         const Block &blk = fn.blocks[b];
         const Instr &term = blk.terminator();

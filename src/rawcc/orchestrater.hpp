@@ -89,6 +89,8 @@ struct VirtualProgram
     int num_prints = 0;
     /** Scheduler makespan estimate per block (stats/benches). */
     std::vector<int64_t> block_makespan;
+    /** Estimated issue slots per tile, summed over blocks. */
+    std::vector<int64_t> est_tile_busy;
     /** Count of memory refs that fell back to the dynamic network. */
     int dynamic_refs = 0;
     /** Count of blocks whose branch was control-replicated. */

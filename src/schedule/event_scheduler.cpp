@@ -357,6 +357,9 @@ schedule_block(const TaskGraph &g, const Partition &part,
                           return a.cycle < b.cycle;
                       return a.path < b.path;
                   });
+    out.tile_busy.assign(out.tiles.size(), 0);
+    for (size_t t = 0; t < out.tiles.size(); t++)
+        out.tile_busy[t] = static_cast<int64_t>(out.tiles[t].size());
     return out;
 }
 

@@ -76,6 +76,13 @@ struct BlockSchedule
     std::vector<std::vector<SwitchItem>> switches;
     /** Estimated parallel run time of the block. */
     int64_t makespan = 0;
+    /**
+     * Estimated issue slots the schedule occupies on each tile
+     * processor (computes + sends + recvs).  The profiling layer
+     * cross-checks this against the measured per-tile issue counts
+     * (sim/profile.hpp) to validate the scheduler's cost model.
+     */
+    std::vector<int64_t> tile_busy;
 };
 
 /** Schedule one block. */

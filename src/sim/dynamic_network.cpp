@@ -1,5 +1,7 @@
 #include "sim/simulator.hpp"
 
+#include <algorithm>
+
 /**
  * @file
  * Dynamic wormhole network and remote-memory handler (Section 5.1).
@@ -127,8 +129,12 @@ Simulator::step_plane(DynPlane &plane, bool is_reply, int64_t now)
                 // Claim the output for this worm.
                 Fifo &src = plane.in_bufs[t][owner];
                 uint32_t h = src.front();
-                if (out != kLocal && !target->can_push())
+                if (out != kLocal && !target->can_push()) {
+                    // Downstream backpressure: the header word sits
+                    // in this tile's buffer for another cycle.
+                    stats_.profile.tiles[t].dyn_net_blocked++;
                     continue; // try again next cycle
+                }
                 src.pop();
                 plane.out_owner[t][out] = owner;
                 plane.out_remaining[t][out] = dyn_hdr_len(h);
@@ -153,8 +159,10 @@ Simulator::step_plane(DynPlane &plane, bool is_reply, int64_t now)
             Fifo &src = plane.in_bufs[t][owner];
             if (!src.can_pop())
                 continue;
-            if (out != kLocal && !target->can_push())
+            if (out != kLocal && !target->can_push()) {
+                stats_.profile.tiles[t].dyn_net_blocked++;
                 continue;
+            }
             uint32_t w = src.pop();
             plane.in_remaining[t][owner]--;
             plane.out_remaining[t][out]--;
@@ -181,7 +189,12 @@ Simulator::deliver_dyn(int tile, const std::vector<uint32_t> &msg,
 {
     DynKind kind = dyn_hdr_kind(msg[0]);
     if (kind == DynKind::kLoadReq || kind == DynKind::kStoreReq) {
-        dyn_[tile].inbox.push_back(msg);
+        DynState &q = dyn_[tile];
+        q.inbox.push_back({now, msg});
+        TileProfile &tp = stats_.profile.tiles[tile];
+        tp.dyn_max_queue =
+            std::max(tp.dyn_max_queue,
+                     static_cast<int64_t>(q.inbox.size()));
         return;
     }
     // Reply / ack for this tile's (single) outstanding request.
@@ -219,12 +232,18 @@ Simulator::step_dyn(int tile, int64_t now)
     if (d.inbox.empty() || d.handler_free > now)
         return;
 
-    const std::vector<uint32_t> &msg = d.inbox.front();
+    const DynState::InMsg &im = d.inbox.front();
+    const std::vector<uint32_t> &msg = im.words;
     DynKind kind = dyn_hdr_kind(msg[0]);
     int src = dyn_hdr_src(msg[0]);
     int64_t gaddr = bits_int(msg[1]);
-    d.handler_free =
-        now + prog_.machine.dyn_handler_cycles + fault_extra();
+    int64_t service =
+        prog_.machine.dyn_handler_cycles + fault_extra();
+    d.handler_free = now + service;
+    TileProfile &tp = stats_.profile.tiles[tile];
+    tp.dyn_requests_served++;
+    tp.dyn_handler_busy += service;
+    tp.dyn_queue_wait += now - im.arrival;
 
     if (kind == DynKind::kStoreReq) {
         mem_.write_local(tile, mem_.local_of(gaddr), msg[2]);

@@ -8,8 +8,10 @@ void
 Simulator::step_proc(int tile, int64_t now)
 {
     Proc &p = procs_[tile];
-    if (p.halted)
+    if (p.halted) {
+        account_proc(tile, now, ProcCycle::kIdle);
         return;
+    }
 
     const std::vector<PInstr> &code = prog_.tiles[tile].code;
     check(p.pc >= 0 && p.pc < static_cast<int64_t>(code.size()),
@@ -28,8 +30,10 @@ Simulator::step_proc(int tile, int64_t now)
                     p.inject.clear();
                     p.inject_pos = 0;
                 }
+                account_proc(tile, now, ProcCycle::kMemWait);
             } else {
                 stats_.proc_stall_cycles++;
+                account_proc(tile, now, ProcCycle::kSendBlocked);
             }
             return;
         }
@@ -44,8 +48,11 @@ Simulator::step_proc(int tile, int64_t now)
             p.pc++;
             stats_.instrs_executed++;
             progress_ = true;
+            account_proc(tile, now, ProcCycle::kIssued);
+            account_issue(tile, in.op);
         } else {
             stats_.proc_stall_cycles++;
+            account_proc(tile, now, ProcCycle::kMemWait);
         }
         return;
     }
@@ -62,18 +69,28 @@ Simulator::step_proc(int tile, int64_t now)
             return s2p_[tile].pop();
         return r >= 0 ? p.regs[r] : 0;
     };
-    auto stall = [&] { stats_.proc_stall_cycles++; };
+    // Why is operand @p r not ready: empty input port or scoreboard?
+    auto wait_cat = [&](int r) {
+        return r == kPortOperand ? ProcCycle::kRecvBlocked
+                                 : ProcCycle::kOperandWait;
+    };
+    auto stall = [&](ProcCycle c) {
+        stats_.proc_stall_cycles++;
+        account_proc(tile, now, c);
+    };
     auto done = [&] {
         p.pc++;
         stats_.instrs_executed++;
         progress_ = true;
+        account_proc(tile, now, ProcCycle::kIssued);
+        account_issue(tile, in.op);
     };
 
     switch (in.op) {
       case Op::kConst:
         if (in.dst == kPortOperand) {
             if (!p2s_[tile].can_push())
-                return stall();
+                return stall(ProcCycle::kSendBlocked);
             p2s_[tile].push(in.imm);
         } else {
             p.regs[in.dst] = in.imm;
@@ -84,9 +101,9 @@ Simulator::step_proc(int tile, int64_t now)
 
       case Op::kSend: {
         if (!ready(in.src[0]))
-            return stall();
+            return stall(wait_cat(in.src[0]));
         if (!p2s_[tile].can_push())
-            return stall();
+            return stall(ProcCycle::kSendBlocked);
         uint32_t v = in.src[0] >= 0 ? p.regs[in.src[0]] : 0;
         p2s_[tile].push(v);
         done();
@@ -95,7 +112,7 @@ Simulator::step_proc(int tile, int64_t now)
 
       case Op::kRecv: {
         if (!s2p_[tile].can_pop())
-            return stall();
+            return stall(ProcCycle::kRecvBlocked);
         uint32_t v = s2p_[tile].pop();
         if (in.dst >= 0) {
             p.regs[in.dst] = v;
@@ -107,7 +124,7 @@ Simulator::step_proc(int tile, int64_t now)
 
       case Op::kLoad: {
         if (!ready(in.src[0]))
-            return stall();
+            return stall(wait_cat(in.src[0]));
         int64_t lat = prog_.machine.latency(FuOp::kLoad) +
                       fault_extra();
         uint32_t v;
@@ -127,8 +144,10 @@ Simulator::step_proc(int tile, int64_t now)
       }
 
       case Op::kStore: {
-        if (!ready(in.src[0]) || !ready(in.src[1]))
-            return stall();
+        if (!ready(in.src[0]))
+            return stall(wait_cat(in.src[0]));
+        if (!ready(in.src[1]))
+            return stall(wait_cat(in.src[1]));
         uint32_t v = read_src(in.src[1]);
         if (in.array == kSpillArray) {
             mem_.write_spill(tile, static_cast<int64_t>(in.imm), v);
@@ -146,8 +165,10 @@ Simulator::step_proc(int tile, int64_t now)
       case Op::kDynLoad:
       case Op::kDynStore: {
         bool is_store = in.op == Op::kDynStore;
-        if (!ready(in.src[0]) || (is_store && !ready(in.src[1])))
-            return stall();
+        if (!ready(in.src[0]))
+            return stall(wait_cat(in.src[0]));
+        if (is_store && !ready(in.src[1]))
+            return stall(wait_cat(in.src[1]));
         int64_t g = prog_.arrays[in.array].base +
                     bits_int(p.regs[in.src[0]]);
         int home = mem_.home_of(g);
@@ -179,12 +200,13 @@ Simulator::step_proc(int tile, int64_t now)
         stats_.dyn_messages++;
         p.waiting_dyn = true;
         progress_ = true;
+        account_proc(tile, now, ProcCycle::kMemWait);
         return;
       }
 
       case Op::kPrint: {
         if (!ready(in.src[0]))
-            return stall();
+            return stall(wait_cat(in.src[0]));
         stats_.prints.push_back({in.print_seq,
                                  print_count_[in.print_seq]++,
                                  in.type, read_src(in.src[0])});
@@ -196,20 +218,26 @@ Simulator::step_proc(int tile, int64_t now)
         p.pc = in.target;
         stats_.instrs_executed++;
         progress_ = true;
+        account_proc(tile, now, ProcCycle::kIssued);
+        account_issue(tile, in.op);
         return;
 
       case Op::kBranch: {
         if (!ready(in.src[0]))
-            return stall();
+            return stall(wait_cat(in.src[0]));
         p.pc = p.regs[in.src[0]] != 0 ? in.target : p.pc + 1;
         stats_.instrs_executed++;
         progress_ = true;
+        account_proc(tile, now, ProcCycle::kIssued);
+        account_issue(tile, in.op);
         return;
       }
 
       case Op::kHalt:
         p.halted = true;
         progress_ = true;
+        account_proc(tile, now, ProcCycle::kIssued);
+        account_issue(tile, in.op);
         return;
 
       default: {
@@ -217,9 +245,9 @@ Simulator::step_proc(int tile, int64_t now)
         // port operands (Section 3.1's port-as-register model).
         for (int s = 0; s < op_num_srcs(in.op); s++)
             if (!ready(in.src[s]))
-                return stall();
+                return stall(wait_cat(in.src[s]));
         if (in.dst == kPortOperand && !p2s_[tile].can_push())
-            return stall();
+            return stall(ProcCycle::kSendBlocked);
         uint32_t a =
             op_num_srcs(in.op) > 0 ? read_src(in.src[0]) : 0;
         uint32_t b =

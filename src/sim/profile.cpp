@@ -1,0 +1,280 @@
+#include "sim/profile.hpp"
+
+#include <algorithm>
+#include <fstream>
+#include <iomanip>
+#include <numeric>
+#include <sstream>
+
+#include "sim/simulator.hpp"
+
+namespace raw {
+
+const char *
+proc_cycle_name(ProcCycle c)
+{
+    switch (c) {
+      case ProcCycle::kIssued: return "issued";
+      case ProcCycle::kOperandWait: return "operand-wait";
+      case ProcCycle::kSendBlocked: return "send-blocked";
+      case ProcCycle::kRecvBlocked: return "recv-blocked";
+      case ProcCycle::kMemWait: return "mem-wait";
+      case ProcCycle::kIdle: return "idle";
+    }
+    return "?";
+}
+
+const char *
+switch_cycle_name(SwitchCycle c)
+{
+    switch (c) {
+      case SwitchCycle::kIssued: return "issued";
+      case SwitchCycle::kInputWait: return "input-wait";
+      case SwitchCycle::kOutputBlocked: return "output-blocked";
+      case SwitchCycle::kIdle: return "idle";
+    }
+    return "?";
+}
+
+OpClass
+op_class(Op op)
+{
+    switch (op) {
+      case Op::kMul:
+        return OpClass::kIntMul;
+      case Op::kDiv:
+      case Op::kRem:
+        return OpClass::kIntDiv;
+      case Op::kFAdd: case Op::kFSub: case Op::kFMul: case Op::kFDiv:
+      case Op::kFNeg: case Op::kFSqrt:
+      case Op::kFCmpEq: case Op::kFCmpNe: case Op::kFCmpLt:
+      case Op::kFCmpLe: case Op::kFCmpGt: case Op::kFCmpGe:
+      case Op::kItoF: case Op::kFtoI:
+        return OpClass::kFp;
+      case Op::kLoad:
+        return OpClass::kLoad;
+      case Op::kStore:
+        return OpClass::kStore;
+      case Op::kDynLoad:
+      case Op::kDynStore:
+        return OpClass::kDynMem;
+      case Op::kSend:
+      case Op::kRecv:
+        return OpClass::kComm;
+      case Op::kPrint:
+      case Op::kJump:
+      case Op::kBranch:
+      case Op::kHalt:
+        return OpClass::kControl;
+      default:
+        return OpClass::kIntAlu;
+    }
+}
+
+const char *
+op_class_name(OpClass c)
+{
+    switch (c) {
+      case OpClass::kIntAlu: return "int-alu";
+      case OpClass::kIntMul: return "int-mul";
+      case OpClass::kIntDiv: return "int-div";
+      case OpClass::kFp: return "fp";
+      case OpClass::kLoad: return "load";
+      case OpClass::kStore: return "store";
+      case OpClass::kDynMem: return "dyn-mem";
+      case OpClass::kComm: return "comm";
+      case OpClass::kControl: return "control";
+    }
+    return "?";
+}
+
+int64_t
+TileProfile::proc_total() const
+{
+    return std::accumulate(proc_cycles.begin(), proc_cycles.end(),
+                           int64_t{0});
+}
+
+int64_t
+TileProfile::switch_total() const
+{
+    return std::accumulate(switch_cycles.begin(), switch_cycles.end(),
+                           int64_t{0});
+}
+
+std::string
+format_profile(const SimResult &r, int64_t est_makespan)
+{
+    const SimProfile &p = r.profile;
+    const int n = static_cast<int>(p.tiles.size());
+    std::ostringstream os;
+    os << "== profile: " << n << " tile" << (n == 1 ? "" : "s") << ", "
+       << r.cycles << " cycles ==\n";
+
+    os << "processor occupancy (cycles):\n";
+    os << std::setw(5) << "tile";
+    for (int c = 0; c < kNumProcCycleCats; c++)
+        os << std::setw(13)
+           << proc_cycle_name(static_cast<ProcCycle>(c));
+    os << "\n";
+    for (int t = 0; t < n; t++) {
+        os << std::setw(5) << t;
+        for (int64_t v : p.tiles[t].proc_cycles)
+            os << std::setw(13) << v;
+        os << "\n";
+    }
+
+    os << "switch occupancy (cycles):\n";
+    os << std::setw(5) << "tile";
+    for (int c = 0; c < kNumSwitchCycleCats; c++)
+        os << std::setw(15)
+           << switch_cycle_name(static_cast<SwitchCycle>(c));
+    os << std::setw(15) << "words-routed" << "\n";
+    for (int t = 0; t < n; t++) {
+        os << std::setw(5) << t;
+        for (int64_t v : p.tiles[t].switch_cycles)
+            os << std::setw(15) << v;
+        os << std::setw(15) << p.tiles[t].words_routed << "\n";
+    }
+
+    os << "issue histogram (instructions per opcode class):\n";
+    os << std::setw(5) << "tile";
+    for (int c = 0; c < kNumOpClasses; c++)
+        os << std::setw(9) << op_class_name(static_cast<OpClass>(c));
+    os << "\n";
+    for (int t = 0; t < n; t++) {
+        os << std::setw(5) << t;
+        for (int64_t v : p.tiles[t].issued)
+            os << std::setw(9) << v;
+        os << "\n";
+    }
+
+    // Dynamic network: only rows that saw traffic.
+    bool any_dyn = false;
+    for (const TileProfile &tp : p.tiles)
+        any_dyn = any_dyn || tp.dyn_requests_served > 0 ||
+                  tp.dyn_net_blocked > 0;
+    if (any_dyn) {
+        os << "dynamic network (remote-memory handlers):\n";
+        os << std::setw(5) << "tile" << std::setw(10) << "served"
+           << std::setw(14) << "busy-cycles" << std::setw(13)
+           << "queue-wait" << std::setw(12) << "max-queue"
+           << std::setw(13) << "net-blocked" << "\n";
+        for (int t = 0; t < n; t++) {
+            const TileProfile &tp = p.tiles[t];
+            if (tp.dyn_requests_served == 0 && tp.dyn_net_blocked == 0)
+                continue;
+            os << std::setw(5) << t << std::setw(10)
+               << tp.dyn_requests_served << std::setw(14)
+               << tp.dyn_handler_busy << std::setw(13)
+               << tp.dyn_queue_wait << std::setw(12)
+               << tp.dyn_max_queue << std::setw(13)
+               << tp.dyn_net_blocked << "\n";
+        }
+    }
+
+    // The most contended static ROUTEs (top 5 across all switches).
+    struct RouteStall
+    {
+        int tile;
+        size_t pc;
+        int64_t stalls;
+    };
+    std::vector<RouteStall> worst;
+    for (int t = 0; t < n; t++)
+        for (size_t pc = 0; pc < p.tiles[t].route_stalls.size(); pc++)
+            if (p.tiles[t].route_stalls[pc] > 0)
+                worst.push_back({t, pc, p.tiles[t].route_stalls[pc]});
+    std::sort(worst.begin(), worst.end(),
+              [](const RouteStall &a, const RouteStall &b) {
+                  return a.stalls > b.stalls;
+              });
+    if (!worst.empty()) {
+        os << "most-stalled switch instructions:\n";
+        for (size_t i = 0; i < worst.size() && i < 5; i++)
+            os << "  sw" << worst[i].tile << "@pc" << worst[i].pc
+               << ": " << worst[i].stalls << " stall cycles\n";
+    }
+
+    if (est_makespan >= 0 && r.cycles > 0) {
+        // The static schedule covers each block once; looping
+        // programs execute blocks many times, so this is a
+        // cross-check of the cost model only for straight-line code.
+        os << "scheduler estimate: " << est_makespan
+           << " cycles for one pass over every block; measured total "
+           << r.cycles << "\n";
+    }
+    return os.str();
+}
+
+namespace {
+
+void
+emit_track(std::ostringstream &os, const std::vector<TraceSpan> &spans,
+           bool is_switch, int tile, bool &first)
+{
+    const int tid = tile * 2 + (is_switch ? 1 : 0);
+    for (const TraceSpan &s : spans) {
+        const char *name =
+            is_switch
+                ? switch_cycle_name(static_cast<SwitchCycle>(s.cat))
+                : proc_cycle_name(static_cast<ProcCycle>(s.cat));
+        bool idle = is_switch ? s.cat == static_cast<uint8_t>(
+                                             SwitchCycle::kIdle)
+                              : s.cat == static_cast<uint8_t>(
+                                             ProcCycle::kIdle);
+        if (idle)
+            continue; // gaps read as idle in the viewer
+        if (!first)
+            os << ",\n";
+        first = false;
+        os << "{\"name\":\"" << name << "\",\"ph\":\"X\",\"ts\":"
+           << s.begin << ",\"dur\":" << (s.end - s.begin)
+           << ",\"pid\":0,\"tid\":" << tid << "}";
+    }
+}
+
+} // namespace
+
+std::string
+chrome_trace_json(const SimProfile &p)
+{
+    check(p.trace_enabled,
+          "chrome_trace_json: run the simulator with tracing enabled");
+    std::ostringstream os;
+    os << "[\n";
+    bool first = true;
+    const int n = static_cast<int>(p.tiles.size());
+    for (int t = 0; t < n; t++) {
+        for (int sw = 0; sw < 2; sw++) {
+            if (!first)
+                os << ",\n";
+            first = false;
+            os << "{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":0,"
+               << "\"tid\":" << (t * 2 + sw) << ",\"args\":{\"name\":"
+               << "\"tile" << t << (sw ? ".switch" : ".proc")
+               << "\"}}";
+        }
+    }
+    for (int t = 0; t < n; t++) {
+        if (t < static_cast<int>(p.proc_spans.size()))
+            emit_track(os, p.proc_spans[t], false, t, first);
+        if (t < static_cast<int>(p.switch_spans.size()))
+            emit_track(os, p.switch_spans[t], true, t, first);
+    }
+    os << "\n]\n";
+    return os.str();
+}
+
+void
+write_chrome_trace(const std::string &path, const SimProfile &p)
+{
+    std::ofstream out(path);
+    if (!out)
+        fatal("cannot open trace output: " + path);
+    out << chrome_trace_json(p);
+    if (!out)
+        fatal("error writing trace output: " + path);
+}
+
+} // namespace raw

@@ -1,0 +1,137 @@
+#ifndef RAW_SIM_PROFILE_HPP
+#define RAW_SIM_PROFILE_HPP
+
+/**
+ * @file
+ * Cycle-accurate profiling of a simulation run.
+ *
+ * The paper's evaluation (Tables 2-3, Figure 8) argues about *where
+ * cycles go* — compute vs. send/receive occupancy vs. network stalls.
+ * The simulator therefore attributes every cycle of every tile
+ * processor and every switch to exactly one category; the categories
+ * sum to the run's total cycle count on each tile (asserted in
+ * tests/test_profile.cpp).
+ *
+ * Aggregate counters are always collected (cheap array increments).
+ * When tracing is enabled (Simulator::set_trace_enabled) the per-cycle
+ * category stream is additionally run-length encoded into spans, from
+ * which chrome_trace_json() renders a Chrome trace-event file with one
+ * track per tile processor and per switch (open in Perfetto or
+ * chrome://tracing).  See docs/profiling.md.
+ */
+
+#include <array>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "ir/opcode.hpp"
+
+namespace raw {
+
+/** What a tile processor did in one cycle (exactly one per cycle). */
+enum class ProcCycle : uint8_t {
+    kIssued = 0,   ///< retired an instruction
+    kOperandWait,  ///< scoreboard stall on a busy register
+    kSendBlocked,  ///< proc->switch port (or dyn inject) full
+    kRecvBlocked,  ///< switch->proc port empty
+    kMemWait,      ///< dynamic-network request in flight
+    kIdle,         ///< halted
+};
+constexpr int kNumProcCycleCats = 6;
+const char *proc_cycle_name(ProcCycle c);
+
+/** What a switch did in one cycle (exactly one per cycle). */
+enum class SwitchCycle : uint8_t {
+    kIssued = 0,    ///< retired a ROUTE / ALU / branch
+    kInputWait,     ///< ROUTE waiting for an input word
+    kOutputBlocked, ///< ROUTE blocked on a full output port
+    kIdle,          ///< halted
+};
+constexpr int kNumSwitchCycleCats = 4;
+const char *switch_cycle_name(SwitchCycle c);
+
+/** Coarse opcode classes for the per-tile issue histogram. */
+enum class OpClass : uint8_t {
+    kIntAlu = 0, ///< add/sub/logic/compare/move/const
+    kIntMul,
+    kIntDiv,
+    kFp,      ///< all floating-point ops
+    kLoad,    ///< static loads (incl. spill reloads)
+    kStore,   ///< static stores (incl. spills)
+    kDynMem,  ///< dynamic-network loads/stores
+    kComm,    ///< send/recv
+    kControl, ///< jump/branch/halt/print
+};
+constexpr int kNumOpClasses = 9;
+OpClass op_class(Op op);
+const char *op_class_name(OpClass c);
+
+/** One run-length-encoded span of same-category cycles (tracing). */
+struct TraceSpan
+{
+    int64_t begin = 0;
+    int64_t end = 0; ///< exclusive
+    uint8_t cat = 0; ///< ProcCycle or SwitchCycle value
+};
+
+/** All counters of one tile (processor + switch + dyn interface). */
+struct TileProfile
+{
+    /** Cycles per ProcCycle category; sums to the run's cycles. */
+    std::array<int64_t, kNumProcCycleCats> proc_cycles{};
+    /** Cycles per SwitchCycle category; sums to the run's cycles. */
+    std::array<int64_t, kNumSwitchCycleCats> switch_cycles{};
+    /** Instructions retired per opcode class. */
+    std::array<int64_t, kNumOpClasses> issued{};
+    /** Stall cycles per static switch-instruction index. */
+    std::vector<int64_t> route_stalls;
+    /** Words this switch moved (all ROUTE outputs). */
+    int64_t words_routed = 0;
+
+    // Dynamic-network interface.
+    int64_t dyn_requests_served = 0; ///< remote-memory handler services
+    int64_t dyn_handler_busy = 0;    ///< cycles the handler was occupied
+    int64_t dyn_queue_wait = 0;      ///< total inbox wait (cycles)
+    int64_t dyn_max_queue = 0;       ///< peak inbox depth
+    int64_t dyn_net_blocked = 0;     ///< word-cycles a worm sat blocked here
+
+    int64_t proc_total() const;
+    int64_t switch_total() const;
+};
+
+/** Whole-run profile carried inside SimResult. */
+struct SimProfile
+{
+    std::vector<TileProfile> tiles;
+    /** Per-tile RLE category streams; empty unless tracing enabled. */
+    std::vector<std::vector<TraceSpan>> proc_spans;
+    std::vector<std::vector<TraceSpan>> switch_spans;
+    bool trace_enabled = false;
+};
+
+struct SimResult;
+
+/**
+ * Human-readable occupancy table: per-tile cycle breakdown, opcode
+ * classes, dynamic-network counters, most-stalled ROUTEs, and (when
+ * @p est_makespan >= 0) the event scheduler's estimated makespan
+ * cross-checked against the measured cycle count.
+ */
+std::string format_profile(const SimResult &r,
+                           int64_t est_makespan = -1);
+
+/**
+ * Chrome trace-event JSON (trace viewer / Perfetto): one complete
+ * ("ph":"X") event per non-idle span, one track per tile processor
+ * ("tileN.proc") and per switch ("tileN.switch").  Timestamps are in
+ * simulated cycles (displayed as microseconds by the viewers).
+ */
+std::string chrome_trace_json(const SimProfile &p);
+
+/** Write chrome_trace_json() to @p path; throws FatalError on I/O. */
+void write_chrome_trace(const std::string &path, const SimProfile &p);
+
+} // namespace raw
+
+#endif // RAW_SIM_PROFILE_HPP

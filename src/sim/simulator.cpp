@@ -63,6 +63,56 @@ Simulator::Simulator(const CompiledProgram &prog, FaultConfig faults)
     links_.assign(n, std::vector<Fifo>(4, Fifo()));
     req_plane_.init(n);
     reply_plane_.init(n);
+    stats_.profile.tiles.resize(n);
+    stats_.profile.proc_spans.resize(n);
+    stats_.profile.switch_spans.resize(n);
+    for (int t = 0; t < n; t++)
+        stats_.profile.tiles[t].route_stalls.assign(
+            prog_.switches[t].code.size(), 0);
+    last_proc_cat_.assign(n, ProcCycle::kIdle);
+    last_sw_cat_.assign(n, SwitchCycle::kIdle);
+}
+
+void
+Simulator::account_proc(int tile, int64_t now, ProcCycle c)
+{
+    TileProfile &tp = stats_.profile.tiles[tile];
+    tp.proc_cycles[static_cast<int>(c)]++;
+    last_proc_cat_[tile] = c;
+    if (stats_.profile.trace_enabled) {
+        std::vector<TraceSpan> &spans = stats_.profile.proc_spans[tile];
+        if (!spans.empty() &&
+            spans.back().cat == static_cast<uint8_t>(c) &&
+            spans.back().end == now)
+            spans.back().end = now + 1;
+        else
+            spans.push_back({now, now + 1, static_cast<uint8_t>(c)});
+    }
+}
+
+void
+Simulator::account_switch(int tile, int64_t now, SwitchCycle c)
+{
+    TileProfile &tp = stats_.profile.tiles[tile];
+    tp.switch_cycles[static_cast<int>(c)]++;
+    last_sw_cat_[tile] = c;
+    if (stats_.profile.trace_enabled) {
+        std::vector<TraceSpan> &spans =
+            stats_.profile.switch_spans[tile];
+        if (!spans.empty() &&
+            spans.back().cat == static_cast<uint8_t>(c) &&
+            spans.back().end == now)
+            spans.back().end = now + 1;
+        else
+            spans.push_back({now, now + 1, static_cast<uint8_t>(c)});
+    }
+}
+
+void
+Simulator::account_issue(int tile, Op op)
+{
+    stats_.profile.tiles[tile]
+        .issued[static_cast<int>(op_class(op))]++;
 }
 
 Fifo &
@@ -99,7 +149,16 @@ Simulator::run(int64_t max_cycles)
     const int n = prog_.machine.n_tiles;
     int64_t now = 0;
     int64_t last_progress = 0;
-    const int64_t stall_limit = 100000;
+    // A global stall is only deadlock once every tile has had time to
+    // drain its worst-case memory latency; scale the window with the
+    // machine size and the injected fault penalty so large
+    // fault-injected runs are not misreported as deadlock.
+    const int64_t stall_limit = std::max<int64_t>(
+        100000,
+        static_cast<int64_t>(n) *
+            (static_cast<int64_t>(faults_.penalty) +
+             prog_.machine.dyn_handler_cycles + 1) *
+            1024);
 
     auto all_done = [&] {
         for (int t = 0; t < n; t++) {
@@ -142,9 +201,11 @@ Simulator::run(int64_t max_cycles)
                << " cycles at cycle " << now << "; ";
             for (int t = 0; t < n; t++) {
                 if (!procs_[t].halted)
-                    os << "proc" << t << "@pc" << procs_[t].pc << " ";
+                    os << "proc" << t << "@pc" << procs_[t].pc << "("
+                       << proc_cycle_name(last_proc_cat_[t]) << ") ";
                 if (!switches_[t].halted)
-                    os << "sw" << t << "@pc" << switches_[t].pc << " ";
+                    os << "sw" << t << "@pc" << switches_[t].pc << "("
+                       << switch_cycle_name(last_sw_cat_[t]) << ") ";
             }
             throw DeadlockError(os.str());
         }

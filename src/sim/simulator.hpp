@@ -34,10 +34,19 @@
 
 #include "sim/isa.hpp"
 #include "sim/memory.hpp"
+#include "sim/profile.hpp"
 
 namespace raw {
 
-/** A bounded port FIFO with one-cycle visibility (pipelined hop). */
+/**
+ * A bounded port FIFO with one-cycle visibility (pipelined hop).
+ *
+ * pop()/push() enforce the begin_cycle() visibility snapshot: a word
+ * pushed in cycle t is poppable no earlier than t+1, and space freed
+ * by a pop opens no earlier than the next cycle edge.  Violations
+ * (popping without can_pop(), pushing without can_push()) are
+ * simulator bugs and panic instead of silently forwarding same-cycle.
+ */
 class Fifo
 {
   public:
@@ -54,17 +63,30 @@ class Fifo
     uint32_t
     pop()
     {
+        if (avail_ <= 0)
+            panic("fifo: pop without can_pop (same-cycle visibility "
+                  "violation)");
         avail_--;
         uint32_t v = q_.front();
         q_.pop_front();
         return v;
     }
     /** Peek without consuming (multicast routes replicate the word). */
-    uint32_t front() const { return q_.front(); }
+    uint32_t
+    front() const
+    {
+        if (avail_ <= 0)
+            panic("fifo: front without can_pop (same-cycle visibility "
+                  "violation)");
+        return q_.front();
+    }
     bool can_push() const { return space_ > 0; }
     void
     push(uint32_t v)
     {
+        if (space_ <= 0)
+            panic("fifo: push without can_push (overrun or same-cycle "
+                  "reuse of freed space)");
         space_--;
         q_.push_back(v);
     }
@@ -109,6 +131,8 @@ struct SimResult
     int64_t dyn_messages = 0;
     int64_t proc_stall_cycles = 0;
     std::vector<PrintRecord> prints; // sorted by seq
+    /** Per-tile cycle attribution (see sim/profile.hpp). */
+    SimProfile profile;
 
     /** Render the print trace, one value per line. */
     std::string print_text() const;
@@ -173,6 +197,12 @@ class Simulator
     /** Run to completion; throws DeadlockError on global stall. */
     SimResult run(int64_t max_cycles = 2000000000LL);
 
+    /**
+     * Record per-cycle category spans for Chrome trace export (costs
+     * memory proportional to category transitions); call before run().
+     */
+    void set_trace_enabled(bool on) { stats_.profile.trace_enabled = on; }
+
     /** Final memory contents of a named array. */
     std::vector<uint32_t> read_array(const std::string &name) const;
 
@@ -205,8 +235,14 @@ class Simulator
     // Remote-memory handler + requester state per tile.
     struct DynState
     {
+        /** One assembled request with its arrival time (queue delay). */
+        struct InMsg
+        {
+            int64_t arrival = 0;
+            std::vector<uint32_t> words;
+        };
         /** Fully assembled requests awaiting service. */
-        std::deque<std::vector<uint32_t>> inbox;
+        std::deque<InMsg> inbox;
         int64_t handler_free = 0;
         /** Reply words being injected into the reply plane. */
         std::vector<uint32_t> outbox;
@@ -217,10 +253,13 @@ class Simulator
         uint32_t reply_value = 0;
     };
 
+    /** Outcome of attempting one switch instruction. */
+    enum class SwExec : uint8_t { kRetired, kInputWait, kOutputBlocked };
+
     void step_proc(int tile, int64_t now);
     void step_switch(int tile, int64_t now);
-    /** Attempt the switch's current instruction; true if it retired. */
-    bool exec_switch_instr(int tile, int64_t now);
+    /** Attempt the switch's current instruction. */
+    SwExec exec_switch_instr(int tile, int64_t now);
     void step_dyn(int tile, int64_t now);
     /** Advance one wormhole plane by one cycle. */
     void step_plane(DynPlane &plane, bool is_reply, int64_t now);
@@ -230,6 +269,13 @@ class Simulator
 
     /** Extra latency injected for a memory access (0 if no fault). */
     int fault_extra();
+
+    /** Attribute this cycle of @p tile's processor to @p c. */
+    void account_proc(int tile, int64_t now, ProcCycle c);
+    /** Attribute this cycle of @p tile's switch to @p c. */
+    void account_switch(int tile, int64_t now, SwitchCycle c);
+    /** Count a retired processor instruction in the issue histogram. */
+    void account_issue(int tile, Op op);
 
     Fifo &in_link(int tile, Dir d);
     Fifo &out_link(int tile, Dir d);
@@ -252,6 +298,9 @@ class Simulator
     /** Per-print-point dynamic execution counts (trace ordering). */
     std::vector<int> print_count_;
     bool progress_ = false;
+    /** Most recent cycle category per tile (deadlock diagnostics). */
+    std::vector<ProcCycle> last_proc_cat_;
+    std::vector<SwitchCycle> last_sw_cat_;
 };
 
 } // namespace raw

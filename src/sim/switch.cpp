@@ -20,12 +20,23 @@ void
 Simulator::step_switch(int tile, int64_t now)
 {
     Sw &sw = switches_[tile];
-    if (sw.halted)
+    if (sw.halted) {
+        account_switch(tile, now, SwitchCycle::kIdle);
         return;
+    }
     const std::vector<SInstr> &code = prog_.switches[tile].code;
     SInstr::K first = code[sw.pc].k;
-    if (!exec_switch_instr(tile, now))
+    int64_t pc0 = sw.pc;
+    SwExec res = exec_switch_instr(tile, now);
+    if (res != SwExec::kRetired) {
+        stats_.profile.tiles[tile].route_stalls[pc0]++;
+        account_switch(tile, now,
+                       res == SwExec::kInputWait
+                           ? SwitchCycle::kInputWait
+                           : SwitchCycle::kOutputBlocked);
         return;
+    }
+    account_switch(tile, now, SwitchCycle::kIssued);
     // Dual issue: one ALU and one ROUTE may retire together.
     if (prog_.machine.switch_dual_issue && !sw.halted &&
         sw.pc < static_cast<int64_t>(code.size()) &&
@@ -33,7 +44,7 @@ Simulator::step_switch(int tile, int64_t now)
         exec_switch_instr(tile, now);
 }
 
-bool
+Simulator::SwExec
 Simulator::exec_switch_instr(int tile, int64_t now)
 {
     (void)now;
@@ -50,7 +61,7 @@ Simulator::exec_switch_instr(int tile, int64_t now)
             Fifo &src = r.in == Dir::kProc ? p2s_[tile]
                                            : in_link(tile, r.in);
             if (!src.can_pop())
-                return false;
+                return SwExec::kInputWait;
             for (int d = 0; d < kNumDirs; d++) {
                 if (!(r.out_mask & (1u << d)))
                     continue;
@@ -58,7 +69,7 @@ Simulator::exec_switch_instr(int tile, int64_t now)
                 Fifo &dst = dir == Dir::kProc ? s2p_[tile]
                                               : out_link(tile, dir);
                 if (!dst.can_push())
-                    return false;
+                    return SwExec::kOutputBlocked;
             }
         }
         for (const RoutePair &r : in.routes) {
@@ -73,6 +84,7 @@ Simulator::exec_switch_instr(int tile, int64_t now)
                                               : out_link(tile, dir);
                 dst.push(v);
                 stats_.words_routed++;
+                stats_.profile.tiles[tile].words_routed++;
             }
             if (r.reg_dst >= 0)
                 sw.regs[r.reg_dst] = v;
@@ -80,7 +92,7 @@ Simulator::exec_switch_instr(int tile, int64_t now)
         sw.pc++;
         stats_.switch_instrs_executed++;
         progress_ = true;
-        return true;
+        return SwExec::kRetired;
       }
 
       case SInstr::K::kAlu: {
@@ -97,27 +109,27 @@ Simulator::exec_switch_instr(int tile, int64_t now)
         sw.pc++;
         stats_.switch_instrs_executed++;
         progress_ = true;
-        return true;
+        return SwExec::kRetired;
       }
 
       case SInstr::K::kBnez:
         sw.pc = sw.regs[in.cond] != 0 ? in.target : sw.pc + 1;
         stats_.switch_instrs_executed++;
         progress_ = true;
-        return true;
+        return SwExec::kRetired;
 
       case SInstr::K::kJump:
         sw.pc = in.target;
         stats_.switch_instrs_executed++;
         progress_ = true;
-        return true;
+        return SwExec::kRetired;
 
       case SInstr::K::kHalt:
         sw.halted = true;
         progress_ = true;
-        return true;
+        return SwExec::kRetired;
     }
-    return false;
+    return SwExec::kRetired;
 }
 
 } // namespace raw

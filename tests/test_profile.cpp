@@ -1,0 +1,319 @@
+/**
+ * @file
+ * Profiling-layer tests: cycle categories sum exactly to the total
+ * cycle count on every tile, single-tile runs see no network stalls,
+ * trace spans are well-formed and monotone, the Fifo visibility
+ * invariants are enforced, dynamic-network contention counters move,
+ * the deadlock diagnostic names the stall reason, and the CLI
+ * round-trips --profile / --trace-out.
+ */
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+
+#include <gtest/gtest.h>
+
+#include "harness/harness.hpp"
+#include "sim/profile.hpp"
+
+namespace raw {
+namespace {
+
+const char *kSmallLoop = R"(
+int A[16];
+int i; int s;
+s = 0;
+for (i = 0; i < 16; i = i + 1) {
+  A[i] = i * 3 + 1;
+}
+for (i = 0; i < 16; i = i + 1) {
+  s = s + A[i];
+}
+print(s);
+)";
+
+/** Every tile's category counts must sum exactly to the run total. */
+void
+expect_profile_consistent(const RunResult &r, int n_tiles)
+{
+    const SimProfile &p = r.sim.profile;
+    ASSERT_EQ(static_cast<int>(p.tiles.size()), n_tiles);
+    int64_t issued_total = 0;
+    for (int t = 0; t < n_tiles; t++) {
+        const TileProfile &tp = p.tiles[t];
+        EXPECT_EQ(tp.proc_total(), r.cycles)
+            << "proc categories must sum to cycles on tile " << t;
+        EXPECT_EQ(tp.switch_total(), r.cycles)
+            << "switch categories must sum to cycles on tile " << t;
+        // Every retired instruction lands in exactly one histogram
+        // class, and every issue cycle retires one instruction.
+        int64_t hist = 0;
+        for (int64_t v : tp.issued)
+            hist += v;
+        EXPECT_EQ(hist,
+                  tp.proc_cycles[static_cast<int>(
+                      ProcCycle::kIssued)])
+            << "histogram must match issued cycles on tile " << t;
+        issued_total += hist;
+    }
+    // kHalt retires into the histogram but is not counted in
+    // instrs_executed, at most once per tile.
+    EXPECT_GE(issued_total, r.sim.instrs_executed);
+    EXPECT_LE(issued_total, r.sim.instrs_executed + n_tiles);
+}
+
+TEST(Profile, CategoriesSumToTotalCyclesPerTile)
+{
+    for (int n : {1, 2, 4}) {
+        RunResult r = run_rawcc(kSmallLoop, MachineConfig::base(n));
+        expect_profile_consistent(r, n);
+    }
+}
+
+TEST(Profile, CategoriesSumOnRealBenchmark)
+{
+    const BenchmarkProgram &prog = benchmark("jacobi");
+    RunResult r =
+        run_rawcc(prog.source, MachineConfig::base(4),
+                  prog.check_array);
+    expect_profile_consistent(r, 4);
+    // A multi-tile run of a real benchmark must communicate.
+    int64_t comm = 0;
+    for (const TileProfile &tp : r.sim.profile.tiles)
+        comm += tp.issued[static_cast<int>(OpClass::kComm)] +
+                tp.words_routed;
+    EXPECT_GT(comm, 0);
+}
+
+TEST(Profile, SingleTileRunHasNoNetworkStalls)
+{
+    RunResult r = run_rawcc(kSmallLoop, MachineConfig::base(1));
+    const TileProfile &tp = r.sim.profile.tiles[0];
+    EXPECT_EQ(tp.proc_cycles[static_cast<int>(
+                  ProcCycle::kSendBlocked)],
+              0);
+    EXPECT_EQ(tp.proc_cycles[static_cast<int>(
+                  ProcCycle::kRecvBlocked)],
+              0);
+    EXPECT_EQ(tp.proc_cycles[static_cast<int>(ProcCycle::kMemWait)],
+              0);
+    EXPECT_EQ(tp.words_routed, 0);
+    EXPECT_EQ(tp.dyn_requests_served, 0);
+}
+
+TEST(Profile, SchedulerEstimateSurfaced)
+{
+    CompileOutput out = compile_source(
+        kSmallLoop, MachineConfig::base(4), CompilerOptions{});
+    EXPECT_GT(out.stats.estimated_makespan(), 0);
+    ASSERT_EQ(out.stats.est_tile_busy.size(), 4u);
+    int64_t busy = 0;
+    for (int64_t v : out.stats.est_tile_busy)
+        busy += v;
+    EXPECT_GT(busy, 0);
+    EXPECT_GE(out.stats.timings.total_ms, 0.0);
+}
+
+TEST(Profile, TraceSpansMonotoneAndComplete)
+{
+    CompileOutput out = compile_source(
+        kSmallLoop, MachineConfig::base(2), CompilerOptions{});
+    Simulator sim(out.program);
+    sim.set_trace_enabled(true);
+    SimResult r = sim.run();
+    ASSERT_TRUE(r.profile.trace_enabled);
+    for (const auto &spans :
+         {r.profile.proc_spans, r.profile.switch_spans}) {
+        ASSERT_EQ(spans.size(), 2u);
+        for (const std::vector<TraceSpan> &track : spans) {
+            int64_t covered = 0;
+            int64_t prev_end = 0;
+            for (const TraceSpan &s : track) {
+                EXPECT_LT(s.begin, s.end);
+                EXPECT_EQ(s.begin, prev_end)
+                    << "spans must tile the timeline gaplessly";
+                prev_end = s.end;
+                covered += s.end - s.begin;
+            }
+            EXPECT_EQ(covered, r.cycles)
+                << "spans must cover every cycle";
+        }
+    }
+}
+
+TEST(Profile, ChromeTraceJsonIsWellFormed)
+{
+    CompileOutput out = compile_source(
+        kSmallLoop, MachineConfig::base(2), CompilerOptions{});
+    Simulator sim(out.program);
+    sim.set_trace_enabled(true);
+    SimResult r = sim.run();
+    std::string json = chrome_trace_json(r.profile);
+    ASSERT_FALSE(json.empty());
+    EXPECT_EQ(json.front(), '[');
+    EXPECT_NE(json.find("\"thread_name\""), std::string::npos);
+    EXPECT_NE(json.find("\"tile0.proc\""), std::string::npos);
+    EXPECT_NE(json.find("\"tile1.switch\""), std::string::npos);
+    EXPECT_NE(json.find("\"ph\":\"X\""), std::string::npos);
+    // Balanced-ish sanity: equal open and close braces.
+    EXPECT_EQ(std::count(json.begin(), json.end(), '{'),
+              std::count(json.begin(), json.end(), '}'));
+    // Untraced runs must refuse to export a trace.
+    Simulator cold(out.program);
+    SimResult rc = cold.run();
+    EXPECT_THROW(chrome_trace_json(rc.profile), PanicError);
+}
+
+TEST(Profile, DynamicNetworkCountersMove)
+{
+    // A load whose home is the other tile goes over the dynamic
+    // network: requester waits, home tile's handler serves.
+    CompiledProgram cp;
+    cp.machine = MachineConfig::base(2);
+    cp.tiles.resize(2);
+    cp.switches.resize(2);
+    cp.arrays.push_back({"A", Type::kI32, 0, 8});
+    cp.total_words = 8;
+    PInstr addr;
+    addr.op = Op::kConst;
+    addr.dst = 1;
+    addr.imm = int_bits(3); // odd address: homed on tile 1
+    PInstr ld;
+    ld.op = Op::kDynLoad;
+    ld.dst = 2;
+    ld.src[0] = 1;
+    ld.array = 0;
+    PInstr halt;
+    halt.op = Op::kHalt;
+    cp.tiles[0].code = {addr, ld, halt};
+    cp.tiles[1].code = {halt};
+    Simulator sim(cp);
+    SimResult r = sim.run();
+    const TileProfile &req = r.profile.tiles[0];
+    const TileProfile &home = r.profile.tiles[1];
+    EXPECT_GT(req.proc_cycles[static_cast<int>(ProcCycle::kMemWait)],
+              0);
+    EXPECT_EQ(home.dyn_requests_served, 1);
+    EXPECT_GT(home.dyn_handler_busy, 0);
+    EXPECT_EQ(req.proc_total(), r.cycles);
+    EXPECT_EQ(home.proc_total(), r.cycles);
+}
+
+TEST(Fifo, PushWithoutSpacePanics)
+{
+    Fifo f(1);
+    f.begin_cycle();
+    f.push(1);
+    EXPECT_THROW(f.push(2), PanicError);
+}
+
+TEST(Fifo, SameCyclePopPanics)
+{
+    // A value pushed in cycle t must not be poppable before t+1:
+    // pop() without a can_pop()-visible word is a simulator bug.
+    Fifo f(2);
+    f.begin_cycle();
+    f.push(7);
+    EXPECT_FALSE(f.can_pop());
+    EXPECT_THROW(f.pop(), PanicError);
+    EXPECT_THROW(f.front(), PanicError);
+    f.begin_cycle();
+    EXPECT_TRUE(f.can_pop());
+    EXPECT_EQ(f.pop(), 7u);
+}
+
+TEST(Fifo, FreedSpaceNotReusableSameCycle)
+{
+    Fifo f(1);
+    f.begin_cycle();
+    f.push(1);
+    f.begin_cycle();
+    EXPECT_EQ(f.pop(), 1u);
+    // Space freed by the pop opens at the next cycle edge.
+    EXPECT_THROW(f.push(2), PanicError);
+    f.begin_cycle();
+    f.push(2);
+}
+
+TEST(Deadlock, DiagnosticNamesStallReason)
+{
+    // Two processors that both receive before sending (cycle), as in
+    // test_sim, but assert on the enriched diagnostic.
+    CompiledProgram cp;
+    cp.machine = MachineConfig::base(2);
+    cp.tiles.resize(2);
+    cp.switches.resize(2);
+    cp.total_words = 4;
+    PInstr recv;
+    recv.op = Op::kRecv;
+    recv.dst = 1;
+    PInstr halt;
+    halt.op = Op::kHalt;
+    cp.tiles[0].code = {recv, halt};
+    cp.tiles[1].code = {recv, halt};
+    SInstr h;
+    h.k = SInstr::K::kHalt;
+    cp.switches[0].code = {h};
+    cp.switches[1].code = {h};
+    try {
+        Simulator sim(cp);
+        sim.run();
+        FAIL() << "expected DeadlockError";
+    } catch (const DeadlockError &e) {
+        std::string msg = e.what();
+        EXPECT_NE(msg.find("proc0@pc0"), std::string::npos) << msg;
+        EXPECT_NE(msg.find("recv-blocked"), std::string::npos) << msg;
+    }
+}
+
+#ifdef RAWCC_BIN
+TEST(ProfileCli, ProfileAndTraceRoundTrip)
+{
+    std::string trace = "test_profile_cli_trace.json";
+    std::string cmd = std::string(RAWCC_BIN) +
+                      " --tiles 2 --profile --trace-out " + trace +
+                      " jacobi > test_profile_cli_out.txt 2>&1";
+    ASSERT_EQ(std::system(cmd.c_str()), 0);
+    std::ifstream out("test_profile_cli_out.txt");
+    std::stringstream ss;
+    ss << out.rdbuf();
+    std::string text = ss.str();
+    EXPECT_NE(text.find("processor occupancy"), std::string::npos);
+    EXPECT_NE(text.find("issue histogram"), std::string::npos);
+    std::ifstream tf(trace);
+    ASSERT_TRUE(tf.good()) << "trace file must exist";
+    std::stringstream ts;
+    ts << tf.rdbuf();
+    EXPECT_NE(ts.str().find("\"thread_name\""), std::string::npos);
+    std::remove(trace.c_str());
+    std::remove("test_profile_cli_out.txt");
+}
+
+TEST(ProfileCli, RejectsGarbageNumerics)
+{
+    // Exit status must be nonzero and the machine must not run.
+    std::string base = std::string(RAWCC_BIN);
+    EXPECT_NE(std::system((base + " --tiles x jacobi "
+                                  "> /dev/null 2>&1")
+                              .c_str()),
+              0);
+    EXPECT_NE(std::system((base + " --tiles 0 jacobi "
+                                  "> /dev/null 2>&1")
+                              .c_str()),
+              0);
+    EXPECT_NE(std::system((base + " --miss-rate 2.0 jacobi "
+                                  "> /dev/null 2>&1")
+                              .c_str()),
+              0);
+    EXPECT_NE(std::system((base + " --miss-penalty -3 jacobi "
+                                  "> /dev/null 2>&1")
+                              .c_str()),
+              0);
+}
+#endif
+
+} // namespace
+} // namespace raw

@@ -11,10 +11,12 @@
  *   --baseline         compile sequentially instead of with RAWCC
  *   --dump-ir          print the IR after renaming
  *   --disasm           print the per-tile / per-switch streams
- *   --stats            print compile statistics
+ *   --stats            print compile statistics (incl. stage timings)
  *   --no-run           compile only
  *   --speedup          also run the sequential baseline and report
- *   --miss-rate R      inject cache misses with probability R
+ *   --profile          print the per-tile cycle-attribution table
+ *   --trace-out F      write a Chrome trace-event JSON to F
+ *   --miss-rate R      inject cache misses with probability R (0..1)
  *   --miss-penalty P   extra cycles per miss (default 20)
  *   --seed S           fault-injection seed
  *   --no-unroll        disable affine staticization (ablation)
@@ -27,7 +29,9 @@
  * jacobi).
  */
 
+#include <cerrno>
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <fstream>
 #include <sstream>
@@ -36,6 +40,7 @@
 #include "harness/harness.hpp"
 #include "ir/printer.hpp"
 #include "sim/disasm.hpp"
+#include "sim/profile.hpp"
 
 namespace {
 
@@ -47,9 +52,53 @@ usage()
         "usage: rawcc [options] <file.rawc | benchmark>\n"
         "  --tiles N --config base|inf-reg|1-cycle --baseline\n"
         "  --dump-ir --disasm --stats --no-run --speedup\n"
+        "  --profile --trace-out FILE\n"
         "  --miss-rate R --miss-penalty P --seed S\n"
         "  --no-unroll --no-replication --no-port-fold\n"
         "  --list-benchmarks\n");
+}
+
+[[noreturn]] void
+bad_value(const char *flag, const char *got, const char *want)
+{
+    std::fprintf(stderr, "rawcc: %s expects %s, got '%s'\n", flag,
+                 want, got);
+    std::exit(2);
+}
+
+/** Parse a full decimal integer; reject trailing garbage/overflow. */
+long
+parse_long(const char *s, const char *flag)
+{
+    errno = 0;
+    char *end = nullptr;
+    long v = std::strtol(s, &end, 10);
+    if (end == s || *end != '\0' || errno == ERANGE)
+        bad_value(flag, s, "an integer");
+    return v;
+}
+
+unsigned long long
+parse_u64(const char *s, const char *flag)
+{
+    errno = 0;
+    char *end = nullptr;
+    unsigned long long v = std::strtoull(s, &end, 10);
+    if (end == s || *end != '\0' || errno == ERANGE ||
+        std::strchr(s, '-') != nullptr)
+        bad_value(flag, s, "a non-negative integer");
+    return v;
+}
+
+double
+parse_double(const char *s, const char *flag)
+{
+    errno = 0;
+    char *end = nullptr;
+    double v = std::strtod(s, &end);
+    if (end == s || *end != '\0' || errno == ERANGE)
+        bad_value(flag, s, "a number");
+    return v;
 }
 
 std::string
@@ -73,11 +122,13 @@ main(int argc, char **argv)
 {
     using namespace raw;
 
-    int tiles = 4;
+    long tiles = 4;
     std::string config = "base";
     std::string input;
+    std::string trace_out;
     bool baseline = false, dump_ir = false, disasm = false;
     bool stats = false, do_run = true, speedup = false;
+    bool profile = false;
     CompilerOptions opts;
     FaultConfig faults;
 
@@ -85,14 +136,20 @@ main(int argc, char **argv)
         std::string a = argv[i];
         auto next = [&]() -> const char * {
             if (i + 1 >= argc) {
+                std::fprintf(stderr,
+                             "rawcc: %s requires an argument\n",
+                             a.c_str());
                 usage();
                 std::exit(2);
             }
             return argv[++i];
         };
-        if (a == "--tiles")
-            tiles = std::atoi(next());
-        else if (a == "--config")
+        if (a == "--tiles") {
+            tiles = parse_long(next(), "--tiles");
+            if (tiles <= 0 || tiles > 1024)
+                bad_value("--tiles", argv[i],
+                          "a tile count in 1..1024");
+        } else if (a == "--config")
             config = next();
         else if (a == "--baseline")
             baseline = true;
@@ -106,12 +163,23 @@ main(int argc, char **argv)
             do_run = false;
         else if (a == "--speedup")
             speedup = true;
-        else if (a == "--miss-rate")
-            faults.miss_rate = std::atof(next());
-        else if (a == "--miss-penalty")
-            faults.penalty = std::atoi(next());
-        else if (a == "--seed")
-            faults.seed = std::strtoull(next(), nullptr, 10);
+        else if (a == "--profile")
+            profile = true;
+        else if (a == "--trace-out")
+            trace_out = next();
+        else if (a == "--miss-rate") {
+            faults.miss_rate = parse_double(next(), "--miss-rate");
+            if (faults.miss_rate < 0.0 || faults.miss_rate > 1.0)
+                bad_value("--miss-rate", argv[i],
+                          "a probability in [0,1]");
+        } else if (a == "--miss-penalty") {
+            long p = parse_long(next(), "--miss-penalty");
+            if (p < 0 || p > 1000000)
+                bad_value("--miss-penalty", argv[i],
+                          "a cycle count in 0..1000000");
+            faults.penalty = static_cast<int>(p);
+        } else if (a == "--seed")
+            faults.seed = parse_u64(next(), "--seed");
         else if (a == "--no-unroll")
             opts.unroll.enable = false;
         else if (a == "--no-replication")
@@ -141,13 +209,14 @@ main(int argc, char **argv)
 
     try {
         std::string src = load_input(input);
+        int n_tiles = static_cast<int>(tiles);
         MachineConfig machine;
         if (config == "base")
-            machine = MachineConfig::base(tiles);
+            machine = MachineConfig::base(n_tiles);
         else if (config == "inf-reg")
-            machine = MachineConfig::inf_reg(tiles);
+            machine = MachineConfig::inf_reg(n_tiles);
         else if (config == "1-cycle")
-            machine = MachineConfig::one_cycle(tiles);
+            machine = MachineConfig::one_cycle(n_tiles);
         else
             fatal("unknown config: " + config);
 
@@ -187,11 +256,20 @@ main(int argc, char **argv)
                         static_cast<long long>(out.stats.spill_ops));
             std::printf("folded port ops:     %d\n",
                         out.stats.folded_port_ops);
+            const PhaseTimings &tm = out.stats.timings;
+            std::printf("compile stages (ms): parse %.2f, unroll "
+                        "%.2f, lower %.2f, transform %.2f, "
+                        "orchestrate %.2f, link %.2f (total %.2f)\n",
+                        tm.parse_ms, tm.unroll_ms, tm.lower_ms,
+                        tm.transform_ms, tm.orchestrate_ms,
+                        tm.link_ms, tm.total_ms);
         }
         if (!do_run)
             return 0;
 
         Simulator sim(out.program, faults);
+        if (!trace_out.empty())
+            sim.set_trace_enabled(true);
         SimResult r = sim.run();
         std::fputs(r.print_text().c_str(), stdout);
         std::printf("[%lld cycles, %lld instrs, %lld words routed, "
@@ -200,6 +278,16 @@ main(int argc, char **argv)
                     static_cast<long long>(r.instrs_executed),
                     static_cast<long long>(r.words_routed),
                     static_cast<long long>(r.dyn_messages));
+
+        if (profile)
+            std::fputs(
+                format_profile(r, out.stats.estimated_makespan())
+                    .c_str(),
+                stdout);
+        if (!trace_out.empty()) {
+            write_chrome_trace(trace_out, r.profile);
+            std::printf("trace written to %s\n", trace_out.c_str());
+        }
 
         if (speedup && !baseline) {
             RunResult base = run_baseline(src);
