@@ -13,6 +13,7 @@
  */
 
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <fstream>
 #include <map>
@@ -22,6 +23,7 @@
 #include <benchmark/benchmark.h>
 
 #include "harness/harness.hpp"
+#include "harness/parallel.hpp"
 #include "sim/profile.hpp"
 
 namespace {
@@ -57,35 +59,48 @@ struct BenchResult
 };
 
 std::vector<BenchResult>
-measure()
+measure(int jobs)
 {
-    std::vector<BenchResult> out;
-    for (const raw::BenchmarkProgram &prog : raw::benchmark_suite()) {
-        raw::RunResult base =
-            raw::run_baseline(prog.source, prog.check_array);
-        BenchResult br;
-        br.name = prog.name;
-        br.baseline_cycles = base.cycles;
-        std::printf("%-14s", prog.name.c_str());
-        for (int n : kSizes) {
-            raw::RunResult par = raw::run_rawcc(
-                prog.source, raw::MachineConfig::base(n),
-                prog.check_array);
-            SizeResult sr;
-            sr.tiles = n;
-            sr.cycles = par.cycles;
-            sr.speedup = static_cast<double>(base.cycles) /
-                         static_cast<double>(par.cycles);
-            for (const raw::TileProfile &tp : par.sim.profile.tiles)
-                for (int c = 0; c < raw::kNumProcCycleCats; c++)
-                    sr.occupancy[c] += tp.proc_cycles[c];
-            br.sizes.push_back(sr);
+    const std::vector<raw::BenchmarkProgram> &suite =
+        raw::benchmark_suite();
+    const int n_benches = static_cast<int>(suite.size());
+    const int n_sizes = static_cast<int>(std::size(kSizes));
+    std::vector<BenchResult> out(n_benches);
+    for (int b = 0; b < n_benches; b++) {
+        out[b].name = suite[b].name;
+        out[b].sizes.resize(n_sizes);
+    }
+
+    // Fan (benchmark × machine size) over the worker pool; every job
+    // writes only its own slot, so the table is identical at any
+    // --jobs value.  The baseline is compiled and simulated once per
+    // benchmark (cached_baseline), not once per machine size.
+    raw::run_parallel(n_benches * n_sizes, jobs, [&](int idx) {
+        const raw::BenchmarkProgram &prog = suite[idx / n_sizes];
+        const int n = kSizes[idx % n_sizes];
+        const raw::RunResult &base = raw::cached_baseline(prog);
+        out[idx / n_sizes].baseline_cycles = base.cycles;
+        raw::RunResult par = raw::run_rawcc(
+            prog.source, raw::MachineConfig::base(n),
+            prog.check_array);
+        SizeResult sr;
+        sr.tiles = n;
+        sr.cycles = par.cycles;
+        sr.speedup = static_cast<double>(base.cycles) /
+                     static_cast<double>(par.cycles);
+        for (const raw::TileProfile &tp : par.sim.profile.tiles)
+            for (int c = 0; c < raw::kNumProcCycleCats; c++)
+                sr.occupancy[c] += tp.proc_cycles[c];
+        out[idx / n_sizes].sizes[idx % n_sizes] = sr;
+    });
+
+    for (const BenchResult &br : out) {
+        std::printf("%-14s", br.name.c_str());
+        for (const SizeResult &sr : br.sizes)
             std::printf("  %-9.2f", sr.speedup);
-            std::fflush(stdout);
-        }
         std::printf("   (seq RT %lld cycles)\n",
-                    static_cast<long long>(base.cycles));
-        auto it = kPaper.find(prog.name);
+                    static_cast<long long>(br.baseline_cycles));
+        auto it = kPaper.find(br.name);
         if (it != kPaper.end()) {
             std::printf("%-14s", "  [paper]");
             for (double v : it->second) {
@@ -96,7 +111,6 @@ measure()
             }
             std::printf("\n");
         }
-        out.push_back(std::move(br));
     }
     return out;
 }
@@ -165,12 +179,15 @@ main(int argc, char **argv)
 {
     bool gbench = false;
     std::string json_out = "BENCH_table3.json";
+    int jobs = 1;
     for (int i = 1; i < argc; i++) {
         if (std::strcmp(argv[i], "--gbench") == 0)
             gbench = true;
         else if (std::strcmp(argv[i], "--json-out") == 0 &&
                  i + 1 < argc)
             json_out = argv[++i];
+        else if (std::strcmp(argv[i], "--jobs") == 0 && i + 1 < argc)
+            jobs = raw::resolve_jobs(std::atoi(argv[++i]));
     }
 
     std::printf("Table 3: Benchmark Speedup (RAWCC vs. sequential "
@@ -179,7 +196,7 @@ main(int argc, char **argv)
     for (int n : kSizes)
         std::printf("  N=%-7d", n);
     std::printf("\n");
-    std::vector<BenchResult> results = measure();
+    std::vector<BenchResult> results = measure(jobs);
     write_json(json_out, results);
     if (!gbench)
         return 0;

@@ -1,0 +1,189 @@
+/**
+ * @file
+ * Wall-clock tracker for the toolchain itself: how fast do we
+ * compile and simulate the Table 3 sweep?  Writes BENCH_wallclock.json
+ * (override with --json-out) with simulated cycles per host second,
+ * compile milliseconds per phase, and placement swaps per second —
+ * the perf trajectory of the infrastructure, as opposed to
+ * BENCH_table3.json which tracks the *simulated* machine.
+ *
+ * Flags: --jobs N fans the (benchmark × size) runs over N worker
+ * threads (0 = one per core); --tiny runs a single small config so CI
+ * can smoke-test the harness in well under a second (ctest label
+ * perf-smoke); --json-out PATH overrides the output path.
+ *
+ * Results (cycle counts, prints) are bit-identical at any --jobs
+ * value; only the wall-clock figures vary between hosts and runs.
+ */
+
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "harness/harness.hpp"
+#include "harness/parallel.hpp"
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double
+ms_since(Clock::time_point t0)
+{
+    return std::chrono::duration<double, std::milli>(Clock::now() - t0)
+        .count();
+}
+
+const int kSizes[] = {1, 2, 4, 8, 16, 32};
+
+/** One (benchmark, machine size) timing. */
+struct RunTiming
+{
+    std::string name;
+    int tiles = 0;
+    int64_t cycles = 0;
+    int64_t placement_swaps = 0;
+    raw::PhaseTimings compile;
+    double sim_ms = 0;
+};
+
+RunTiming
+time_one(const raw::BenchmarkProgram &prog, int tiles)
+{
+    RunTiming rt;
+    rt.name = prog.name;
+    rt.tiles = tiles;
+    raw::CompileOutput out = raw::compile_source(
+        prog.source, raw::MachineConfig::base(tiles));
+    rt.compile = out.stats.timings;
+    rt.placement_swaps = out.stats.placement_swaps;
+    Clock::time_point t0 = Clock::now();
+    raw::Simulator sim(out.program);
+    raw::SimResult r = sim.run();
+    rt.sim_ms = ms_since(t0);
+    rt.cycles = r.cycles;
+    return rt;
+}
+
+void
+write_json(const std::string &path, const std::vector<RunTiming> &runs,
+           int jobs, double wall_ms)
+{
+    raw::PhaseTimings sum;
+    int64_t cycles = 0, swaps = 0;
+    double sim_ms = 0;
+    for (const RunTiming &rt : runs) {
+        sum.parse_ms += rt.compile.parse_ms;
+        sum.unroll_ms += rt.compile.unroll_ms;
+        sum.lower_ms += rt.compile.lower_ms;
+        sum.transform_ms += rt.compile.transform_ms;
+        sum.orchestrate_ms += rt.compile.orchestrate_ms;
+        sum.link_ms += rt.compile.link_ms;
+        sum.total_ms += rt.compile.total_ms;
+        cycles += rt.cycles;
+        swaps += rt.placement_swaps;
+        sim_ms += rt.sim_ms;
+    }
+    double cycles_per_sec = sim_ms > 0 ? cycles / (sim_ms / 1e3) : 0;
+    double swaps_per_sec =
+        sum.orchestrate_ms > 0 ? swaps / (sum.orchestrate_ms / 1e3)
+                               : 0;
+
+    std::ofstream out(path);
+    if (!out) {
+        std::fprintf(stderr, "cannot open %s for writing\n",
+                     path.c_str());
+        std::exit(1);
+    }
+    char buf[256];
+    out << "{\n  \"table\": \"wallclock\",\n";
+    out << "  \"jobs\": " << jobs << ",\n";
+    std::snprintf(buf, sizeof(buf), "  \"sweep_wall_ms\": %.1f,\n",
+                  wall_ms);
+    out << buf;
+    std::snprintf(
+        buf, sizeof(buf),
+        "  \"compile_ms\": {\"parse\": %.1f, \"unroll\": %.1f, "
+        "\"lower\": %.1f, \"transform\": %.1f, \"orchestrate\": %.1f, "
+        "\"link\": %.1f, \"total\": %.1f},\n",
+        sum.parse_ms, sum.unroll_ms, sum.lower_ms, sum.transform_ms,
+        sum.orchestrate_ms, sum.link_ms, sum.total_ms);
+    out << buf;
+    std::snprintf(buf, sizeof(buf),
+                  "  \"sim\": {\"cycles\": %lld, \"wall_ms\": %.1f, "
+                  "\"cycles_per_sec\": %.0f},\n",
+                  static_cast<long long>(cycles), sim_ms,
+                  cycles_per_sec);
+    out << buf;
+    std::snprintf(buf, sizeof(buf),
+                  "  \"placement\": {\"swaps\": %lld, "
+                  "\"swaps_per_sec\": %.0f},\n",
+                  static_cast<long long>(swaps), swaps_per_sec);
+    out << buf;
+    out << "  \"runs\": [\n";
+    for (size_t i = 0; i < runs.size(); i++) {
+        const RunTiming &rt = runs[i];
+        std::snprintf(
+            buf, sizeof(buf),
+            "    {\"name\": \"%s\", \"tiles\": %d, \"cycles\": %lld, "
+            "\"compile_ms\": %.1f, \"sim_ms\": %.1f}%s\n",
+            rt.name.c_str(), rt.tiles,
+            static_cast<long long>(rt.cycles), rt.compile.total_ms,
+            rt.sim_ms, i + 1 < runs.size() ? "," : "");
+        out << buf;
+    }
+    out << "  ]\n}\n";
+    std::printf("wrote %s\n", path.c_str());
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    std::string json_out = "BENCH_wallclock.json";
+    int jobs = 1;
+    bool tiny = false;
+    for (int i = 1; i < argc; i++) {
+        if (std::strcmp(argv[i], "--json-out") == 0 && i + 1 < argc)
+            json_out = argv[++i];
+        else if (std::strcmp(argv[i], "--jobs") == 0 && i + 1 < argc)
+            jobs = raw::resolve_jobs(std::atoi(argv[++i]));
+        else if (std::strcmp(argv[i], "--tiny") == 0)
+            tiny = true;
+    }
+
+    std::vector<std::pair<const raw::BenchmarkProgram *, int>> points;
+    if (tiny) {
+        points.emplace_back(&raw::benchmark("jacobi"), 4);
+    } else {
+        for (const raw::BenchmarkProgram &prog :
+             raw::benchmark_suite())
+            for (int n : kSizes)
+                points.emplace_back(&prog, n);
+    }
+
+    std::vector<RunTiming> runs(points.size());
+    Clock::time_point t0 = Clock::now();
+    raw::run_parallel(static_cast<int>(points.size()), jobs,
+                      [&](int i) {
+                          runs[i] = time_one(*points[i].first,
+                                             points[i].second);
+                      });
+    double wall_ms = ms_since(t0);
+
+    std::printf("%zu runs in %.1f ms (jobs=%d)\n", runs.size(),
+                wall_ms, jobs);
+    for (const RunTiming &rt : runs)
+        std::printf(
+            "  %-14s n=%-3d compile %8.1f ms  sim %8.1f ms  "
+            "(%lld cycles)\n",
+            rt.name.c_str(), rt.tiles, rt.compile.total_ms, rt.sim_ms,
+            static_cast<long long>(rt.cycles));
+    write_json(json_out, runs, jobs, wall_ms);
+    return 0;
+}

@@ -55,9 +55,8 @@ TaskGraph::add_edge(int from, int to, DepKind kind)
 int
 TaskGraph::producer_of(ValueId v) const
 {
-    if (v < 0 || v >= static_cast<ValueId>(producer_.size()))
-        return -1;
-    return producer_[v];
+    auto it = producer_.find(v);
+    return it == producer_.end() ? -1 : it->second;
 }
 
 TaskGraph::TaskGraph(const Function &fn, int block_id,
@@ -68,7 +67,6 @@ TaskGraph::TaskGraph(const Function &fn, int block_id,
 {
     const Block &blk = fn.blocks[block_id];
     const int n = static_cast<int>(blk.instrs.size());
-    producer_.assign(fn.values.size(), -1);
 
     // ---- Decide which instructions become graph nodes. ----------
     // Start by excluding replicated control instructions; re-include
@@ -215,7 +213,7 @@ TaskGraph::TaskGraph(const Function &fn, int block_id,
                     add_edge(it->second, i, DepKind::kData);
                 continue;
             }
-            int p = producer_[v];
+            int p = producer_of(v);
             if (p >= 0)
                 add_edge(p, i, DepKind::kData);
         }

@@ -19,6 +19,7 @@
  * residues modulo the interleaving factor).
  */
 
+#include <unordered_map>
 #include <vector>
 
 #include "transform/congruence.hpp"
@@ -117,7 +118,10 @@ class TaskGraph
     std::vector<TGEdge> edges_;
     std::vector<std::vector<int>> succs_, preds_, out_;
     std::vector<int> skipped_;
-    std::vector<int> producer_;
+    // Keyed by value id; sized by this block's node count, not by the
+    // whole function's value count (graphs for every block are alive
+    // at once in the orchestrater).
+    std::unordered_map<ValueId, int> producer_;
 };
 
 } // namespace raw

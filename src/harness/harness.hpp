@@ -43,6 +43,15 @@ RunResult run_baseline(const std::string &source,
                        const FaultConfig &faults = {});
 
 /**
+ * Baseline run of @p prog, cached by benchmark name: the sequential
+ * baseline depends on neither machine size nor fault config, so a
+ * sweep over machine sizes (or fault points) compiles and simulates
+ * it once.  Thread-safe; the returned reference stays valid for the
+ * life of the process.
+ */
+const RunResult &cached_baseline(const BenchmarkProgram &prog);
+
+/**
  * Run @p prog under the baseline and under RAWCC on @p machine and
  * require bit-identical results (check array and print trace).
  * Returns the speedup; throws FatalError on mismatch.
@@ -51,6 +60,17 @@ double verified_speedup(const BenchmarkProgram &prog,
                         const MachineConfig &machine,
                         const CompilerOptions &opts = {},
                         const FaultConfig &faults = {});
+
+/**
+ * Canonical text summary of one simulation for the golden
+ * determinism suite: cycle count, aggregate counters, per-category
+ * profile sums, issue histogram and the full print trace.  Written by
+ * tools/golden_gen.cpp and replayed byte-for-byte by
+ * tests/test_golden_determinism.cpp.
+ */
+std::string golden_summary(const std::string &bench, int tiles,
+                           const FaultConfig &faults,
+                           const SimResult &sim);
 
 } // namespace raw
 

@@ -1,0 +1,65 @@
+#include "harness/parallel.hpp"
+
+#include <atomic>
+#include <exception>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace raw {
+
+int
+resolve_jobs(int jobs)
+{
+    if (jobs >= 1)
+        return jobs;
+    unsigned hw = std::thread::hardware_concurrency();
+    return hw ? static_cast<int>(hw) : 1;
+}
+
+void
+run_parallel(int n_jobs, int n_threads,
+             const std::function<void(int)> &job)
+{
+    if (n_jobs <= 0)
+        return;
+    n_threads = std::min(n_threads, n_jobs);
+    if (n_threads <= 1) {
+        for (int i = 0; i < n_jobs; i++)
+            job(i);
+        return;
+    }
+
+    std::atomic<int> next{0};
+    std::mutex err_mu;
+    std::exception_ptr first_error;
+    int first_error_job = -1;
+
+    auto worker = [&] {
+        for (;;) {
+            int i = next.fetch_add(1, std::memory_order_relaxed);
+            if (i >= n_jobs)
+                return;
+            try {
+                job(i);
+            } catch (...) {
+                std::lock_guard<std::mutex> lock(err_mu);
+                if (first_error_job < 0 || i < first_error_job) {
+                    first_error_job = i;
+                    first_error = std::current_exception();
+                }
+            }
+        }
+    };
+
+    std::vector<std::thread> pool;
+    pool.reserve(n_threads);
+    for (int t = 0; t < n_threads; t++)
+        pool.emplace_back(worker);
+    for (std::thread &t : pool)
+        t.join();
+    if (first_error)
+        std::rethrow_exception(first_error);
+}
+
+} // namespace raw

@@ -1,0 +1,36 @@
+#ifndef RAW_HARNESS_PARALLEL_HPP
+#define RAW_HARNESS_PARALLEL_HPP
+
+/**
+ * @file
+ * Thread-pool fan-out for (benchmark × machine size × options) runs.
+ *
+ * Each job owns its whole pipeline — parse, compile, Simulator, fault
+ * RNG — so nothing is shared between workers and results are
+ * bit-identical at any thread count.  Jobs are claimed from an atomic
+ * counter and write into caller-indexed slots, so output order never
+ * depends on scheduling.
+ */
+
+#include <functional>
+
+namespace raw {
+
+/**
+ * Worker count implied by a `--jobs` value: values >= 1 are taken
+ * verbatim, 0 (or negative) means one worker per hardware core.
+ */
+int resolve_jobs(int jobs);
+
+/**
+ * Run @p job for every index in [0, n_jobs) using up to @p n_threads
+ * worker threads (clamped to n_jobs; n_threads <= 1 runs inline).
+ * Blocks until every job finished.  If any job throws, the first
+ * exception (by job index) is rethrown after all workers join.
+ */
+void run_parallel(int n_jobs, int n_threads,
+                  const std::function<void(int)> &job);
+
+} // namespace raw
+
+#endif // RAW_HARNESS_PARALLEL_HPP

@@ -70,7 +70,30 @@ struct Partition
     std::vector<int> tile_of;
     /** Number of edges whose endpoints ended up on different tiles. */
     int cross_edges = 0;
+    /** Candidate swaps evaluated during placement (perf tracking). */
+    int64_t swaps_evaluated = 0;
 };
+
+/**
+ * Total hop-weighted communication cost of mapping partitions onto
+ * tiles: sum over partition pairs of traffic × mesh distance.
+ * @p w is the symmetric partition-to-partition word-traffic matrix.
+ */
+int64_t placement_assignment_cost(
+    const std::vector<std::vector<int>> &w,
+    const std::vector<int> &tile_of_partition,
+    const MachineConfig &machine);
+
+/**
+ * Cost change from swapping the tiles of partitions @p i and @p j,
+ * in O(n) instead of the O(n²) full recompute: only terms involving
+ * i or j change, and the w[i][j] term is invariant because mesh
+ * distance is symmetric.
+ */
+int64_t placement_swap_delta(
+    const std::vector<std::vector<int>> &w,
+    const std::vector<int> &tile_of_partition,
+    const MachineConfig &machine, int i, int j);
 
 /** Phase 1: cluster @p g (uniform-latency model). */
 Clustering cluster_taskgraph(const TaskGraph &g,

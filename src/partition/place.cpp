@@ -27,11 +27,12 @@ traffic_matrix(const TaskGraph &g, const Clustering &merged, int n_tiles)
     return w;
 }
 
-/** Total hop-weighted communication cost of an assignment. */
+} // namespace
+
 int64_t
-assignment_cost(const std::vector<std::vector<int>> &w,
-                const std::vector<int> &tile_of_partition,
-                const MachineConfig &machine)
+placement_assignment_cost(const std::vector<std::vector<int>> &w,
+                          const std::vector<int> &tile_of_partition,
+                          const MachineConfig &machine)
 {
     int64_t cost = 0;
     const int n = static_cast<int>(tile_of_partition.size());
@@ -43,7 +44,30 @@ assignment_cost(const std::vector<std::vector<int>> &w,
     return cost;
 }
 
-} // namespace
+int64_t
+placement_swap_delta(const std::vector<std::vector<int>> &w,
+                     const std::vector<int> &tile_of_partition,
+                     const MachineConfig &machine, int i, int j)
+{
+    const int n = static_cast<int>(tile_of_partition.size());
+    const int ti = tile_of_partition[i];
+    const int tj = tile_of_partition[j];
+    int64_t delta = 0;
+    for (int k = 0; k < n; k++) {
+        if (k == i || k == j)
+            continue;
+        const int tk = tile_of_partition[k];
+        if (w[i][k])
+            delta += static_cast<int64_t>(w[i][k]) *
+                     (machine.distance(tj, tk) -
+                      machine.distance(ti, tk));
+        if (w[j][k])
+            delta += static_cast<int64_t>(w[j][k]) *
+                     (machine.distance(ti, tk) -
+                      machine.distance(tj, tk));
+    }
+    return delta;
+}
 
 Partition
 place_partitions(const TaskGraph &g, const Clustering &merged,
@@ -79,25 +103,44 @@ place_partitions(const TaskGraph &g, const Clustering &merged,
     std::vector<std::vector<int>> w =
         traffic_matrix(g, merged, n_tiles);
 
+    int64_t swaps_evaluated = 0;
+    // Candidate swaps are evaluated by the O(n) delta, not the O(n²)
+    // full recompute; `cur` is carried incrementally.  Accept
+    // decisions are on exact integer deltas, so the optimized loops
+    // pick the same placements as the full-recompute versions.
+    auto delta_of = [&](int pi, int pj) {
+        swaps_evaluated++;
+        int64_t d = placement_swap_delta(w, tile_of_partition,
+                                         machine, pi, pj);
+#ifndef NDEBUG
+        int64_t pre = placement_assignment_cost(w, tile_of_partition,
+                                                machine);
+        std::swap(tile_of_partition[pi], tile_of_partition[pj]);
+        int64_t post = placement_assignment_cost(w, tile_of_partition,
+                                                 machine);
+        std::swap(tile_of_partition[pi], tile_of_partition[pj]);
+        check(post - pre == d,
+              "placement: swap delta disagrees with full recompute");
+#endif
+        return d;
+    };
+
     if (opts.place_mode != PlaceMode::kArbitrary &&
         movable.size() > 1) {
-        int64_t cur = assignment_cost(w, tile_of_partition, machine);
+        int64_t cur =
+            placement_assignment_cost(w, tile_of_partition, machine);
         if (opts.place_mode == PlaceMode::kGreedySwap) {
             bool improved = true;
             while (improved) {
                 improved = false;
                 for (size_t i = 0; i < movable.size(); i++) {
                     for (size_t j = i + 1; j < movable.size(); j++) {
-                        std::swap(tile_of_partition[movable[i]],
-                                  tile_of_partition[movable[j]]);
-                        int64_t c2 = assignment_cost(
-                            w, tile_of_partition, machine);
-                        if (c2 < cur) {
-                            cur = c2;
-                            improved = true;
-                        } else {
+                        int64_t d = delta_of(movable[i], movable[j]);
+                        if (d < 0) {
                             std::swap(tile_of_partition[movable[i]],
                                       tile_of_partition[movable[j]]);
+                            cur += d;
+                            improved = true;
                         }
                     }
                 }
@@ -115,19 +158,18 @@ place_partitions(const TaskGraph &g, const Clustering &merged,
                 int j = movable[pick(rng)];
                 if (i == j)
                     continue;
-                std::swap(tile_of_partition[i], tile_of_partition[j]);
-                int64_t c2 =
-                    assignment_cost(w, tile_of_partition, machine);
-                if (c2 <= cur ||
-                    unit(rng) < std::exp((cur - c2) / temp)) {
-                    cur = c2;
+                int64_t d = delta_of(i, j);
+                // The RNG is drawn only on uphill candidates, exactly
+                // as the full-recompute loop did, so the accept
+                // stream (and final placement) is unchanged.
+                if (d <= 0 || unit(rng) < std::exp(-double(d) / temp)) {
+                    std::swap(tile_of_partition[i],
+                              tile_of_partition[j]);
+                    cur += d;
                     if (cur < best_cost) {
                         best_cost = cur;
                         best = tile_of_partition;
                     }
-                } else {
-                    std::swap(tile_of_partition[i],
-                              tile_of_partition[j]);
                 }
                 temp *= 0.999;
             }
@@ -136,6 +178,7 @@ place_partitions(const TaskGraph &g, const Clustering &merged,
     }
 
     Partition out;
+    out.swaps_evaluated = swaps_evaluated;
     out.tile_of.assign(g.nodes().size(), 0);
     for (size_t i = 0; i < g.nodes().size(); i++)
         out.tile_of[i] = tile_of_partition[merged.cluster_of[i]];

@@ -93,6 +93,7 @@ compile_function(Function fn, const MachineConfig &machine,
     out.stats.timings.link_ms = lap_ms(t0);
 
     out.stats.dynamic_refs = vp.dynamic_refs;
+    out.stats.placement_swaps = vp.placement_swaps;
     out.stats.replicated_branches = vp.replicated_branches;
     out.stats.broadcast_branches = vp.broadcast_branches;
     out.stats.spill_ops = ls.spill_ops;

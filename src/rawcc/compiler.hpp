@@ -70,6 +70,8 @@ struct CompileStats
     int broadcast_branches = 0;
     int64_t spill_ops = 0;
     int folded_port_ops = 0;
+    /** Placement candidate swaps evaluated during orchestration. */
+    int64_t placement_swaps = 0;
     int64_t ir_instrs = 0;
     int64_t static_instrs = 0;
     /** Scheduler makespan estimate per block. */

@@ -76,8 +76,9 @@ rewrite_dynamic_refs(Function &fn, const HomeMap &homes)
 {
     // Pass 1: find arrays with any statically unanalyzable access.
     std::vector<bool> dynamic_array(fn.arrays.size(), false);
+    CongruenceMap cong(fn);
     for (size_t b = 0; b < fn.blocks.size(); b++) {
-        CongruenceMap cong(fn, static_cast<int>(b));
+        cong.analyze(static_cast<int>(b));
         for (const Instr &in : fn.blocks[b].instrs) {
             if (in.op != Op::kLoad && in.op != Op::kStore)
                 continue;
@@ -88,7 +89,7 @@ rewrite_dynamic_refs(Function &fn, const HomeMap &homes)
     // Pass 2: demote every access of a dynamic array.
     int count = 0;
     for (size_t b = 0; b < fn.blocks.size(); b++) {
-        CongruenceMap cong(fn, static_cast<int>(b));
+        cong.analyze(static_cast<int>(b));
         for (Instr &in : fn.blocks[b].instrs) {
             if (in.op != Op::kLoad && in.op != Op::kStore)
                 continue;
@@ -155,18 +156,21 @@ orchestrate(Function &fn, const MachineConfig &machine,
                 pseq[b][k] = vp.num_prints++;
     }
 
-    // Per-block analyses, graphs and partitions.  Congruence maps are
-    // O(#values) each, so they are built per block and dropped.
+    // Per-block analyses, graphs and partitions.  One congruence
+    // analyzer is reused across blocks: its O(#values) table is
+    // allocated once and re-seeded per block in O(block size).
     std::vector<TaskGraph> graphs;
     std::vector<Partition> parts;
     graphs.reserve(n_blocks);
     parts.reserve(n_blocks);
+    CongruenceMap cong(fn);
     for (int b = 0; b < n_blocks; b++) {
-        CongruenceMap cong(fn, b);
+        cong.analyze(b);
         graphs.emplace_back(fn, b, machine, cong, repl, live,
                             vp.data.homes);
         parts.push_back(
             partition_taskgraph(graphs[b], machine, opts.partition));
+        vp.placement_swaps += parts[b].swaps_evaluated;
         // Usage votes for the usage-aware data partitioner: where
         // did this variable's producers and consumers land?
         const TaskGraph &g = graphs[b];

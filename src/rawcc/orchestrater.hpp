@@ -93,6 +93,8 @@ struct VirtualProgram
     std::vector<int64_t> est_tile_busy;
     /** Count of memory refs that fell back to the dynamic network. */
     int dynamic_refs = 0;
+    /** Placement candidate swaps evaluated, summed over blocks. */
+    int64_t placement_swaps = 0;
     /** Count of blocks whose branch was control-replicated. */
     int replicated_branches = 0;
     int broadcast_branches = 0;

@@ -75,14 +75,7 @@ DynPlane::init(int n_tiles)
     in_remaining.assign(n_tiles, {0, 0, 0, 0, 0});
     rr.assign(n_tiles, {0, 0, 0, 0, 0});
     eject.assign(n_tiles, {});
-}
-
-void
-DynPlane::begin_cycle()
-{
-    for (auto &bufs : in_bufs)
-        for (Fifo &f : bufs)
-            f.begin_cycle();
+    resident = 0;
 }
 
 void
@@ -112,10 +105,10 @@ Simulator::step_plane(DynPlane &plane, bool is_reply, int64_t now)
                 for (int k = 0; k < 5 && owner < 0; k++) {
                     int in = (plane.rr[t][out] + k) % 5;
                     Fifo &src = plane.in_bufs[t][in];
-                    if (!src.can_pop() ||
+                    if (!src.can_pop(now) ||
                         plane.in_remaining[t][in] > 0)
                         continue;
-                    uint32_t h = src.front();
+                    uint32_t h = src.front(now);
                     int dst = dyn_hdr_dst(h);
                     int want = dst == t
                                    ? kLocal
@@ -128,22 +121,25 @@ Simulator::step_plane(DynPlane &plane, bool is_reply, int64_t now)
                     continue;
                 // Claim the output for this worm.
                 Fifo &src = plane.in_bufs[t][owner];
-                uint32_t h = src.front();
-                if (out != kLocal && !target->can_push()) {
+                uint32_t h = src.front(now);
+                if (out != kLocal && !target->can_push(now)) {
                     // Downstream backpressure: the header word sits
                     // in this tile's buffer for another cycle.
                     stats_.profile.tiles[t].dyn_net_blocked++;
+                    plane_blocked_.push_back(t);
                     continue; // try again next cycle
                 }
-                src.pop();
+                src.pop(now);
                 plane.out_owner[t][out] = owner;
                 plane.out_remaining[t][out] = dyn_hdr_len(h);
                 plane.in_remaining[t][owner] = dyn_hdr_len(h);
                 plane.rr[t][out] = (owner + 1) % 5;
-                if (out == kLocal)
+                if (out == kLocal) {
+                    plane.resident--;
                     plane.eject[t].push_back(h);
-                else
-                    target->push(h);
+                } else {
+                    target->push(now, h);
+                }
                 if (plane.out_remaining[t][out] == 0) {
                     plane.out_owner[t][out] = -1;
                     if (out == kLocal) {
@@ -157,19 +153,22 @@ Simulator::step_plane(DynPlane &plane, bool is_reply, int64_t now)
 
             // Continue an owned worm: move one payload word.
             Fifo &src = plane.in_bufs[t][owner];
-            if (!src.can_pop())
+            if (!src.can_pop(now))
                 continue;
-            if (out != kLocal && !target->can_push()) {
+            if (out != kLocal && !target->can_push(now)) {
                 stats_.profile.tiles[t].dyn_net_blocked++;
+                plane_blocked_.push_back(t);
                 continue;
             }
-            uint32_t w = src.pop();
+            uint32_t w = src.pop(now);
             plane.in_remaining[t][owner]--;
             plane.out_remaining[t][out]--;
-            if (out == kLocal)
+            if (out == kLocal) {
+                plane.resident--;
                 plane.eject[t].push_back(w);
-            else
-                target->push(w);
+            } else {
+                target->push(now, w);
+            }
             if (plane.out_remaining[t][out] == 0) {
                 plane.out_owner[t][out] = -1;
                 if (out == kLocal) {
@@ -191,6 +190,7 @@ Simulator::deliver_dyn(int tile, const std::vector<uint32_t> &msg,
     if (kind == DynKind::kLoadReq || kind == DynKind::kStoreReq) {
         DynState &q = dyn_[tile];
         q.inbox.push_back({now, msg});
+        wake_dyn(tile);
         TileProfile &tp = stats_.profile.tiles[tile];
         tp.dyn_max_queue =
             std::max(tp.dyn_max_queue,
@@ -218,8 +218,9 @@ Simulator::step_dyn(int tile, int64_t now)
     // Inject one pending reply word per cycle.
     if (d.outbox_pos < d.outbox.size()) {
         Fifo &local = reply_plane_.in_bufs[tile][4];
-        if (local.can_push()) {
-            local.push(d.outbox[d.outbox_pos++]);
+        if (local.can_push(now)) {
+            local.push(now, d.outbox[d.outbox_pos++]);
+            reply_plane_.resident++;
             progress_ = true;
             if (d.outbox_pos == d.outbox.size()) {
                 d.outbox.clear();

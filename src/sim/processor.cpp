@@ -23,8 +23,9 @@ Simulator::step_proc(int tile, int64_t now)
     if (p.waiting_dyn) {
         if (p.inject_pos < p.inject.size()) {
             Fifo &local = req_plane_.in_bufs[tile][4];
-            if (local.can_push()) {
-                local.push(p.inject[p.inject_pos++]);
+            if (local.can_push(now)) {
+                local.push(now, p.inject[p.inject_pos++]);
+                req_plane_.resident++;
                 progress_ = true;
                 if (p.inject_pos == p.inject.size()) {
                     p.inject.clear();
@@ -59,14 +60,14 @@ Simulator::step_proc(int tile, int64_t now)
 
     auto ready = [&](int r) {
         if (r == kPortOperand)
-            return s2p_[tile].can_pop();
+            return s2p_[tile].can_pop(now);
         return r < 0 || p.busy[r] <= now;
     };
     // Read a source operand; a port operand consumes the word (only
     // call once per operand, after every readiness check passed).
     auto read_src = [&](int r) -> uint32_t {
         if (r == kPortOperand)
-            return s2p_[tile].pop();
+            return s2p_[tile].pop(now);
         return r >= 0 ? p.regs[r] : 0;
     };
     // Why is operand @p r not ready: empty input port or scoreboard?
@@ -89,9 +90,9 @@ Simulator::step_proc(int tile, int64_t now)
     switch (in.op) {
       case Op::kConst:
         if (in.dst == kPortOperand) {
-            if (!p2s_[tile].can_push())
+            if (!p2s_[tile].can_push(now))
                 return stall(ProcCycle::kSendBlocked);
-            p2s_[tile].push(in.imm);
+            p2s_[tile].push(now, in.imm);
         } else {
             p.regs[in.dst] = in.imm;
             p.busy[in.dst] = now + 1;
@@ -102,18 +103,18 @@ Simulator::step_proc(int tile, int64_t now)
       case Op::kSend: {
         if (!ready(in.src[0]))
             return stall(wait_cat(in.src[0]));
-        if (!p2s_[tile].can_push())
+        if (!p2s_[tile].can_push(now))
             return stall(ProcCycle::kSendBlocked);
         uint32_t v = in.src[0] >= 0 ? p.regs[in.src[0]] : 0;
-        p2s_[tile].push(v);
+        p2s_[tile].push(now, v);
         done();
         return;
       }
 
       case Op::kRecv: {
-        if (!s2p_[tile].can_pop())
+        if (!s2p_[tile].can_pop(now))
             return stall(ProcCycle::kRecvBlocked);
-        uint32_t v = s2p_[tile].pop();
+        uint32_t v = s2p_[tile].pop(now);
         if (in.dst >= 0) {
             p.regs[in.dst] = v;
             p.busy[in.dst] = now + 1;
@@ -246,7 +247,7 @@ Simulator::step_proc(int tile, int64_t now)
         for (int s = 0; s < op_num_srcs(in.op); s++)
             if (!ready(in.src[s]))
                 return stall(wait_cat(in.src[s]));
-        if (in.dst == kPortOperand && !p2s_[tile].can_push())
+        if (in.dst == kPortOperand && !p2s_[tile].can_push(now))
             return stall(ProcCycle::kSendBlocked);
         uint32_t a =
             op_num_srcs(in.op) > 0 ? read_src(in.src[0]) : 0;
@@ -256,7 +257,7 @@ Simulator::step_proc(int tile, int64_t now)
         check(eval_op(in.op, a, b, out),
               "processor: unexecutable opcode");
         if (in.dst == kPortOperand) {
-            p2s_[tile].push(out);
+            p2s_[tile].push(now, out);
         } else {
             p.regs[in.dst] = out;
             p.busy[in.dst] =

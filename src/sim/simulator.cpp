@@ -5,6 +5,22 @@
 
 namespace raw {
 
+namespace {
+
+/** Append n cycles of category @p cat to an RLE span stream. */
+void
+extend_spans(std::vector<TraceSpan> &spans, int64_t begin, uint8_t cat,
+             int64_t n)
+{
+    if (!spans.empty() && spans.back().cat == cat &&
+        spans.back().end == begin)
+        spans.back().end = begin + n;
+    else
+        spans.push_back({begin, begin + n, cat});
+}
+
+} // namespace
+
 std::string
 SimResult::print_text() const
 {
@@ -64,48 +80,58 @@ Simulator::Simulator(const CompiledProgram &prog, FaultConfig faults)
     req_plane_.init(n);
     reply_plane_.init(n);
     stats_.profile.tiles.resize(n);
-    stats_.profile.proc_spans.resize(n);
-    stats_.profile.switch_spans.resize(n);
     for (int t = 0; t < n; t++)
         stats_.profile.tiles[t].route_stalls.assign(
             prog_.switches[t].code.size(), 0);
     last_proc_cat_.assign(n, ProcCycle::kIdle);
     last_sw_cat_.assign(n, SwitchCycle::kIdle);
+    dyn_listed_.assign(n, 0);
+    for (int t = 0; t < n; t++) {
+        if (!procs_[t].halted)
+            active_procs_.push_back(t);
+        if (!switches_[t].halted)
+            active_sw_.push_back(t);
+    }
 }
 
 void
 Simulator::account_proc(int tile, int64_t now, ProcCycle c)
 {
-    TileProfile &tp = stats_.profile.tiles[tile];
-    tp.proc_cycles[static_cast<int>(c)]++;
+    stats_.profile.tiles[tile].proc_cycles[static_cast<int>(c)]++;
     last_proc_cat_[tile] = c;
-    if (stats_.profile.trace_enabled) {
-        std::vector<TraceSpan> &spans = stats_.profile.proc_spans[tile];
-        if (!spans.empty() &&
-            spans.back().cat == static_cast<uint8_t>(c) &&
-            spans.back().end == now)
-            spans.back().end = now + 1;
-        else
-            spans.push_back({now, now + 1, static_cast<uint8_t>(c)});
-    }
+    if (stats_.profile.trace_enabled)
+        extend_spans(stats_.profile.proc_spans[tile], now,
+                     static_cast<uint8_t>(c), 1);
 }
 
 void
 Simulator::account_switch(int tile, int64_t now, SwitchCycle c)
 {
-    TileProfile &tp = stats_.profile.tiles[tile];
-    tp.switch_cycles[static_cast<int>(c)]++;
+    stats_.profile.tiles[tile].switch_cycles[static_cast<int>(c)]++;
     last_sw_cat_[tile] = c;
-    if (stats_.profile.trace_enabled) {
-        std::vector<TraceSpan> &spans =
-            stats_.profile.switch_spans[tile];
-        if (!spans.empty() &&
-            spans.back().cat == static_cast<uint8_t>(c) &&
-            spans.back().end == now)
-            spans.back().end = now + 1;
-        else
-            spans.push_back({now, now + 1, static_cast<uint8_t>(c)});
-    }
+    if (stats_.profile.trace_enabled)
+        extend_spans(stats_.profile.switch_spans[tile], now,
+                     static_cast<uint8_t>(c), 1);
+}
+
+void
+Simulator::account_proc_n(int tile, int64_t begin, ProcCycle c,
+                          int64_t n)
+{
+    stats_.profile.tiles[tile].proc_cycles[static_cast<int>(c)] += n;
+    if (stats_.profile.trace_enabled)
+        extend_spans(stats_.profile.proc_spans[tile], begin,
+                     static_cast<uint8_t>(c), n);
+}
+
+void
+Simulator::account_switch_n(int tile, int64_t begin, SwitchCycle c,
+                            int64_t n)
+{
+    stats_.profile.tiles[tile].switch_cycles[static_cast<int>(c)] += n;
+    if (stats_.profile.trace_enabled)
+        extend_spans(stats_.profile.switch_spans[tile], begin,
+                     static_cast<uint8_t>(c), n);
 }
 
 void
@@ -113,6 +139,18 @@ Simulator::account_issue(int tile, Op op)
 {
     stats_.profile.tiles[tile]
         .issued[static_cast<int>(op_class(op))]++;
+}
+
+void
+Simulator::wake_dyn(int tile)
+{
+    if (dyn_listed_[tile])
+        return;
+    dyn_listed_[tile] = 1;
+    // Sorted insert: step order must stay ascending (see run()).
+    active_dyn_.insert(std::lower_bound(active_dyn_.begin(),
+                                        active_dyn_.end(), tile),
+                       tile);
 }
 
 Fifo &
@@ -143,6 +181,56 @@ Simulator::fault_extra()
     return u < faults_.miss_rate ? faults_.penalty : 0;
 }
 
+int64_t
+Simulator::next_wake(int64_t now) const
+{
+    int64_t wake = INT64_MAX;
+    auto consider = [&](int64_t t) {
+        if (t > now && t < wake)
+            wake = t;
+    };
+    for (int t : active_procs_) {
+        const Proc &p = procs_[t];
+        if (p.waiting_dyn) {
+            // Pending inject words wait on FIFO space (not time);
+            // a posted reply matures at a known cycle.
+            const DynState &d = dyn_[t];
+            if (p.inject.empty() && d.reply_ready)
+                consider(d.reply_time);
+            continue;
+        }
+        const PInstr &in = prog_.tiles[t].code[p.pc];
+        for (int r : in.src)
+            if (r >= 0)
+                consider(p.busy[r]);
+    }
+    for (int t : active_dyn_) {
+        const DynState &d = dyn_[t];
+        if (d.outbox_pos >= d.outbox.size() && !d.inbox.empty())
+            consider(d.handler_free);
+    }
+    return wake;
+}
+
+void
+Simulator::fast_forward(int64_t now, int64_t skip)
+{
+    // Every live unit repeats the frozen cycle's stall verbatim, so
+    // replay its per-cycle counters in one batch.  (A frozen cycle
+    // has no pushes/pops, no retires, no RNG draws — the only state
+    // that advances is `now` itself.)
+    for (int t : active_procs_) {
+        stats_.proc_stall_cycles += skip;
+        account_proc_n(t, now + 1, last_proc_cat_[t], skip);
+    }
+    for (int t : active_sw_) {
+        stats_.profile.tiles[t].route_stalls[switches_[t].pc] += skip;
+        account_switch_n(t, now + 1, last_sw_cat_[t], skip);
+    }
+    for (int t : plane_blocked_)
+        stats_.profile.tiles[t].dyn_net_blocked += skip;
+}
+
 SimResult
 Simulator::run(int64_t max_cycles)
 {
@@ -160,59 +248,111 @@ Simulator::run(int64_t max_cycles)
              prog_.machine.dyn_handler_cycles + 1) *
             1024);
 
-    auto all_done = [&] {
+    if (stats_.profile.trace_enabled) {
+        stats_.profile.proc_spans.resize(n);
+        stats_.profile.switch_spans.resize(n);
         for (int t = 0; t < n; t++) {
-            if (!procs_[t].halted || !switches_[t].halted)
-                return false;
-            if (!dyn_[t].inbox.empty() || !dyn_[t].outbox.empty())
-                return false;
+            stats_.profile.proc_spans[t].reserve(64);
+            stats_.profile.switch_spans[t].reserve(64);
         }
-        return true;
-    };
+    }
 
-    while (!all_done()) {
+    while (!active_procs_.empty() || !active_sw_.empty() ||
+           !active_dyn_.empty()) {
         check(now < max_cycles, "simulator: cycle limit exceeded");
         progress_ = false;
+        plane_blocked_.clear();
 
-        for (Fifo &f : p2s_)
-            f.begin_cycle();
-        for (Fifo &f : s2p_)
-            f.begin_cycle();
-        for (auto &v : links_)
-            for (Fifo &f : v)
-                f.begin_cycle();
-        req_plane_.begin_cycle();
-        reply_plane_.begin_cycle();
-
-        for (int t = 0; t < n; t++)
+        // Worklists stay in ascending tile order (ordered erase, not
+        // swap-remove): the fault-injection RNG is one global stream,
+        // so the cross-tile order of memory accesses within a cycle
+        // must match the original 0..n-1 sweep bit for bit.
+        for (size_t i = 0; i < active_sw_.size();) {
+            int t = active_sw_[i];
             step_switch(t, now);
-        for (int t = 0; t < n; t++)
+            if (switches_[t].halted)
+                active_sw_.erase(active_sw_.begin() + i);
+            else
+                i++;
+        }
+        for (size_t i = 0; i < active_procs_.size();) {
+            int t = active_procs_[i];
             step_proc(t, now);
-        step_plane(req_plane_, false, now);
-        step_plane(reply_plane_, true, now);
-        for (int t = 0; t < n; t++)
+            if (procs_[t].halted)
+                active_procs_.erase(active_procs_.begin() + i);
+            else
+                i++;
+        }
+        if (req_plane_.resident > 0)
+            step_plane(req_plane_, false, now);
+        if (reply_plane_.resident > 0)
+            step_plane(reply_plane_, true, now);
+        for (size_t i = 0; i < active_dyn_.size();) {
+            int t = active_dyn_[i];
             step_dyn(t, now);
-
-        if (progress_)
-            last_progress = now;
-        if (now - last_progress > stall_limit) {
-            std::ostringstream os;
-            os << "deadlock: no progress for " << stall_limit
-               << " cycles at cycle " << now << "; ";
-            for (int t = 0; t < n; t++) {
-                if (!procs_[t].halted)
-                    os << "proc" << t << "@pc" << procs_[t].pc << "("
-                       << proc_cycle_name(last_proc_cat_[t]) << ") ";
-                if (!switches_[t].halted)
-                    os << "sw" << t << "@pc" << switches_[t].pc << "("
-                       << switch_cycle_name(last_sw_cat_[t]) << ") ";
+            const DynState &d = dyn_[t];
+            if (d.inbox.empty() && d.outbox.empty()) {
+                dyn_listed_[t] = 0;
+                active_dyn_.erase(active_dyn_.begin() + i);
+            } else {
+                i++;
             }
-            throw DeadlockError(os.str());
+        }
+
+        if (progress_) {
+            last_progress = now;
+        } else {
+            if (now - last_progress > stall_limit) {
+                std::ostringstream os;
+                os << "deadlock: no progress for " << stall_limit
+                   << " cycles at cycle " << now << "; ";
+                for (int t = 0; t < n; t++) {
+                    if (!procs_[t].halted)
+                        os << "proc" << t << "@pc" << procs_[t].pc
+                           << "("
+                           << proc_cycle_name(last_proc_cat_[t])
+                           << ") ";
+                    if (!switches_[t].halted)
+                        os << "sw" << t << "@pc" << switches_[t].pc
+                           << "("
+                           << switch_cycle_name(last_sw_cat_[t])
+                           << ") ";
+                }
+                throw DeadlockError(os.str());
+            }
+            // Quiescence fast-forward: with zero progress this cycle
+            // the machine state is frozen, so every cycle up to the
+            // earliest time-gated wake replays identically — jump
+            // there, batching the identical per-cycle accounting.
+            // Capped so the deadlock window above still fires at the
+            // exact cycle the unoptimized loop would have.
+            int64_t wake = next_wake(now);
+            if (wake != INT64_MAX) {
+                int64_t skip = wake - now - 1;
+                skip = std::min(skip,
+                                last_progress + stall_limit - now);
+                if (skip > 0) {
+                    fast_forward(now, skip);
+                    now += skip;
+                }
+            }
         }
         now++;
     }
 
     stats_.cycles = now;
+    // Tiles whose processor/switch left the worklist stopped
+    // accounting; backfill the tail so the per-category sums still
+    // total the run's cycle count on every tile.
+    for (int t = 0; t < n; t++) {
+        TileProfile &tp = stats_.profile.tiles[t];
+        int64_t idle = now - tp.proc_total();
+        if (idle > 0)
+            account_proc_n(t, now - idle, ProcCycle::kIdle, idle);
+        idle = now - tp.switch_total();
+        if (idle > 0)
+            account_switch_n(t, now - idle, SwitchCycle::kIdle, idle);
+    }
     // Program order across loop iterations: iteration-k prints come
     // before iteration-k+1 prints, program points break ties.
     std::sort(stats_.prints.begin(), stats_.prints.end(),

@@ -41,62 +41,109 @@ namespace raw {
 /**
  * A bounded port FIFO with one-cycle visibility (pipelined hop).
  *
- * pop()/push() enforce the begin_cycle() visibility snapshot: a word
- * pushed in cycle t is poppable no earlier than t+1, and space freed
- * by a pop opens no earlier than the next cycle edge.  Violations
- * (popping without can_pop(), pushing without can_push()) are
- * simulator bugs and panic instead of silently forwarding same-cycle.
+ * Fixed-capacity ring buffer.  Every operation is stamped with the
+ * current cycle; per-cycle push/pop counters (reset lazily when the
+ * stamp advances) reproduce the latched-snapshot semantics the old
+ * begin_cycle() sweep provided, without any per-cycle work on
+ * untouched FIFOs: a word pushed in cycle t is poppable no earlier
+ * than t+1 (avail = size - pushes_this_cycle), and space freed by a
+ * pop opens no earlier than the next cycle edge
+ * (space = cap - size - pops_this_cycle).  Violations (popping
+ * without can_pop(), pushing without can_push()) are simulator bugs
+ * and panic instead of silently forwarding same-cycle.
+ *
+ * Cycle stamps must be non-decreasing, which also makes the
+ * simulator's quiescence fast-forward (jumping @c now over frozen
+ * stretches) transparent to the FIFO.
  */
 class Fifo
 {
   public:
-    explicit Fifo(int cap = 2) : cap_(cap) {}
+    static constexpr int kMaxCap = 4;
 
-    /** Latch this cycle's visibility snapshot. */
-    void
-    begin_cycle()
+    explicit Fifo(int cap = 2) : cap_(cap)
     {
-        avail_ = static_cast<int>(q_.size());
-        space_ = cap_ - avail_;
+        if (cap < 1 || cap > kMaxCap)
+            panic("fifo: capacity out of range");
     }
-    bool can_pop() const { return avail_ > 0; }
-    uint32_t
-    pop()
+
+    bool
+    can_pop(int64_t now) const
     {
-        if (avail_ <= 0)
+        return size_ - pushed_this(now) > 0;
+    }
+    uint32_t
+    pop(int64_t now)
+    {
+        sync(now);
+        if (size_ - pushes_ <= 0)
             panic("fifo: pop without can_pop (same-cycle visibility "
                   "violation)");
-        avail_--;
-        uint32_t v = q_.front();
-        q_.pop_front();
+        uint32_t v = buf_[head_];
+        head_ = head_ + 1 == cap_ ? 0 : head_ + 1;
+        size_--;
+        pops_++;
         return v;
     }
     /** Peek without consuming (multicast routes replicate the word). */
     uint32_t
-    front() const
+    front(int64_t now) const
     {
-        if (avail_ <= 0)
+        if (size_ - pushed_this(now) <= 0)
             panic("fifo: front without can_pop (same-cycle visibility "
                   "violation)");
-        return q_.front();
+        return buf_[head_];
     }
-    bool can_push() const { return space_ > 0; }
-    void
-    push(uint32_t v)
+    bool
+    can_push(int64_t now) const
     {
-        if (space_ <= 0)
+        return cap_ - size_ - popped_this(now) > 0;
+    }
+    void
+    push(int64_t now, uint32_t v)
+    {
+        sync(now);
+        if (cap_ - size_ - pops_ <= 0)
             panic("fifo: push without can_push (overrun or same-cycle "
                   "reuse of freed space)");
-        space_--;
-        q_.push_back(v);
+        int idx = head_ + size_;
+        if (idx >= cap_)
+            idx -= cap_;
+        buf_[idx] = v;
+        size_++;
+        pushes_++;
     }
-    bool empty() const { return q_.empty(); }
+    bool empty() const { return size_ == 0; }
 
   private:
-    std::deque<uint32_t> q_;
+    int
+    pushed_this(int64_t now) const
+    {
+        return cycle_ == now ? pushes_ : 0;
+    }
+    int
+    popped_this(int64_t now) const
+    {
+        return cycle_ == now ? pops_ : 0;
+    }
+    void
+    sync(int64_t now)
+    {
+        if (cycle_ != now) {
+            cycle_ = now;
+            pushes_ = 0;
+            pops_ = 0;
+        }
+    }
+
+    uint32_t buf_[kMaxCap] = {0, 0, 0, 0};
+    int head_ = 0;
+    int size_ = 0;
     int cap_;
-    int avail_ = 0;
-    int space_ = 0;
+    /** Cycle the per-cycle counters refer to. */
+    int64_t cycle_ = -1;
+    int pushes_ = 0;
+    int pops_ = 0;
 };
 
 /** Dynamic-event (cache-miss) injection configuration. */
@@ -182,9 +229,10 @@ struct DynPlane
     std::vector<std::array<int, 5>> rr;
     /** Partially ejected message per tile. */
     std::vector<std::vector<uint32_t>> eject;
+    /** Words currently resident in any input buffer (skip if 0). */
+    int resident = 0;
 
     void init(int n_tiles);
-    void begin_cycle();
 };
 
 /** The whole-machine simulator. */
@@ -274,8 +322,31 @@ class Simulator
     void account_proc(int tile, int64_t now, ProcCycle c);
     /** Attribute this cycle of @p tile's switch to @p c. */
     void account_switch(int tile, int64_t now, SwitchCycle c);
+    /** Batched attribution of @p n contiguous cycles from @p begin. */
+    void account_proc_n(int tile, int64_t begin, ProcCycle c,
+                        int64_t n);
+    void account_switch_n(int tile, int64_t begin, SwitchCycle c,
+                          int64_t n);
     /** Count a retired processor instruction in the issue histogram. */
     void account_issue(int tile, Op op);
+
+    /** Mark the dynamic interface of @p tile live (inbox/outbox). */
+    void wake_dyn(int tile);
+
+    /**
+     * Earliest cycle > @p now at which any time-gated condition in
+     * the frozen machine flips (scoreboard deadline, pending reply,
+     * busy remote-memory handler), or INT64_MAX when none exists
+     * (a true deadlock, left to the stall counter).
+     */
+    int64_t next_wake(int64_t now) const;
+    /**
+     * Account @p skip no-progress cycles after @p now in one batch:
+     * every live unit repeats the stall category it recorded in the
+     * frozen cycle, so SimProfile sums stay exact (see
+     * docs/performance.md for the invariants).
+     */
+    void fast_forward(int64_t now, int64_t skip);
 
     Fifo &in_link(int tile, Dir d);
     Fifo &out_link(int tile, Dir d);
@@ -298,9 +369,23 @@ class Simulator
     /** Per-print-point dynamic execution counts (trace ordering). */
     std::vector<int> print_count_;
     bool progress_ = false;
-    /** Most recent cycle category per tile (deadlock diagnostics). */
+    /** Most recent cycle category per tile (deadlock diagnostics,
+     *  fast-forward batch accounting). */
     std::vector<ProcCycle> last_proc_cat_;
     std::vector<SwitchCycle> last_sw_cat_;
+
+    // Active-unit worklists: halted processors/switches leave their
+    // list permanently; a tile's dynamic interface is listed only
+    // while its inbox or outbox is non-empty.  Membership changes are
+    // O(1) swap-removals; step order across tiles is immaterial
+    // because port visibility is latched per cycle.
+    std::vector<int> active_procs_;
+    std::vector<int> active_sw_;
+    std::vector<int> active_dyn_;
+    std::vector<uint8_t> dyn_listed_;
+    /** Tiles whose dyn_net_blocked counter ticked this cycle (one
+     *  entry per increment; replayed by fast_forward). */
+    std::vector<int> plane_blocked_;
 };
 
 } // namespace raw

@@ -47,7 +47,6 @@ Simulator::step_switch(int tile, int64_t now)
 Simulator::SwExec
 Simulator::exec_switch_instr(int tile, int64_t now)
 {
-    (void)now;
     Sw &sw = switches_[tile];
     const std::vector<SInstr> &code = prog_.switches[tile].code;
     check(sw.pc >= 0 && sw.pc < static_cast<int64_t>(code.size()),
@@ -60,7 +59,7 @@ Simulator::exec_switch_instr(int tile, int64_t now)
         for (const RoutePair &r : in.routes) {
             Fifo &src = r.in == Dir::kProc ? p2s_[tile]
                                            : in_link(tile, r.in);
-            if (!src.can_pop())
+            if (!src.can_pop(now))
                 return SwExec::kInputWait;
             for (int d = 0; d < kNumDirs; d++) {
                 if (!(r.out_mask & (1u << d)))
@@ -68,21 +67,21 @@ Simulator::exec_switch_instr(int tile, int64_t now)
                 Dir dir = static_cast<Dir>(d);
                 Fifo &dst = dir == Dir::kProc ? s2p_[tile]
                                               : out_link(tile, dir);
-                if (!dst.can_push())
+                if (!dst.can_push(now))
                     return SwExec::kOutputBlocked;
             }
         }
         for (const RoutePair &r : in.routes) {
             Fifo &src = r.in == Dir::kProc ? p2s_[tile]
                                            : in_link(tile, r.in);
-            uint32_t v = src.pop();
+            uint32_t v = src.pop(now);
             for (int d = 0; d < kNumDirs; d++) {
                 if (!(r.out_mask & (1u << d)))
                     continue;
                 Dir dir = static_cast<Dir>(d);
                 Fifo &dst = dir == Dir::kProc ? s2p_[tile]
                                               : out_link(tile, dir);
-                dst.push(v);
+                dst.push(now, v);
                 stats_.words_routed++;
                 stats_.profile.tiles[tile].words_routed++;
             }

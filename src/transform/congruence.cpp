@@ -4,12 +4,29 @@
 
 namespace raw {
 
-CongruenceMap::CongruenceMap(const Function &fn, int block_id)
-    : facts_(fn.values.size(), Congruence::top())
+CongruenceMap::CongruenceMap(const Function &fn)
+    : fn_(&fn), facts_(fn.values.size(), Congruence::top()),
+      stamp_(fn.values.size(), 0)
 {
-    const Block &blk = fn.blocks[block_id];
+}
+
+CongruenceMap::CongruenceMap(const Function &fn, int block_id)
+    : CongruenceMap(fn)
+{
+    analyze(block_id);
+}
+
+void
+CongruenceMap::analyze(int block_id)
+{
+    epoch_++;
+    if (facts_.size() < fn_->values.size()) {
+        facts_.resize(fn_->values.size(), Congruence::top());
+        stamp_.resize(fn_->values.size(), 0);
+    }
+    const Block &blk = fn_->blocks[block_id];
     for (const EntryFact &f : blk.entry_facts)
-        facts_[f.var] = f.cong;
+        set(f.var, f.cong);
 
     for (const Instr &in : blk.instrs) {
         if (!in.has_dst())
@@ -21,33 +38,33 @@ CongruenceMap::CongruenceMap(const Function &fn, int block_id)
                 out = Congruence::exact(bits_int(in.imm_bits));
             break;
           case Op::kMove:
-            out = facts_[in.src[0]];
+            out = get(in.src[0]);
             break;
           case Op::kAdd:
-            out = facts_[in.src[0]] + facts_[in.src[1]];
+            out = get(in.src[0]) + get(in.src[1]);
             break;
           case Op::kSub:
-            out = facts_[in.src[0]] - facts_[in.src[1]];
+            out = get(in.src[0]) - get(in.src[1]);
             break;
           case Op::kMul:
-            out = facts_[in.src[0]] * facts_[in.src[1]];
+            out = get(in.src[0]) * get(in.src[1]);
             break;
           case Op::kNeg:
-            out = Congruence::exact(0) - facts_[in.src[0]];
+            out = Congruence::exact(0) - get(in.src[0]);
             break;
           case Op::kShl: {
-            const Congruence &amt = facts_[in.src[1]];
+            const Congruence &amt = get(in.src[1]);
             if (amt.is_exact() && amt.residue >= 0 && amt.residue < 31) {
                 Congruence scale =
                     Congruence::exact(int64_t{1} << amt.residue);
-                out = facts_[in.src[0]] * scale;
+                out = get(in.src[0]) * scale;
             }
             break;
           }
           default:
             break;
         }
-        facts_[in.dst] = out;
+        set(in.dst, out);
     }
 }
 

@@ -29,22 +29,48 @@ namespace raw {
 class CongruenceMap
 {
   public:
+    /**
+     * Prepare an analyzer for @p fn without analyzing any block yet.
+     * The O(#values) fact table is allocated once here; analyze()
+     * re-seeds it per block in O(block size) via epoch stamps, so one
+     * analyzer can sweep every block of a large function cheaply.
+     */
+    explicit CongruenceMap(const Function &fn);
+
     /** Analyze @p block_id of @p fn. */
     CongruenceMap(const Function &fn, int block_id);
 
+    /** Re-seed the analyzer with the facts of @p block_id. */
+    void analyze(int block_id);
+
     /** Fact for @p v (top if unknown). */
-    const Congruence &get(ValueId v) const { return facts_[v]; }
+    const Congruence &get(ValueId v) const
+    {
+        return stamp_[v] == epoch_ ? facts_[v] : top_;
+    }
 
     /**
      * Residue of @p v modulo @p m, or -1 if not statically known.
      */
     int64_t residue_mod(ValueId v, int64_t m) const
     {
-        return facts_[v].residue_mod(m);
+        return get(v).residue_mod(m);
     }
 
   private:
+    void set(ValueId v, const Congruence &c)
+    {
+        facts_[v] = c;
+        stamp_[v] = epoch_;
+    }
+
+    const Function *fn_;
     std::vector<Congruence> facts_;
+    // Entries are valid only when their stamp matches the current
+    // epoch; everything else reads as top without a per-block sweep.
+    std::vector<uint32_t> stamp_;
+    uint32_t epoch_ = 0;
+    Congruence top_ = Congruence::top();
 };
 
 } // namespace raw

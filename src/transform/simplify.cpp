@@ -77,8 +77,15 @@ bool
 merge_chains(Function &fn)
 {
     bool changed = false;
-    auto preds = fn.predecessors();
     const int nb = static_cast<int>(fn.blocks.size());
+    // Edge-multiplicity predecessor counts (a branch with both
+    // targets equal counts twice, matching fn.predecessors()).  A
+    // merge only removes b's jump edge into s; the edges moved out of
+    // s keep their targets, so pred_count stays exact incrementally.
+    std::vector<int> pred_count(nb, 0);
+    for (int b = 0; b < nb; b++)
+        for (int s : fn.blocks[b].successors())
+            pred_count[s]++;
     for (int b = 0; b < nb; b++) {
         for (;;) {
             Block &blk = fn.blocks[b];
@@ -86,22 +93,19 @@ merge_chains(Function &fn)
             if (term.op != Op::kJump)
                 break;
             int s = term.target[0];
-            if (s == b || s == 0 || preds[s].size() != 1)
+            if (s == b || s == 0 || pred_count[s] != 1)
                 break;
             // Concatenate s into b.
             Block &succ = fn.blocks[s];
             blk.instrs.pop_back();
-            for (Instr &in : succ.instrs)
-                blk.instrs.push_back(in);
+            blk.instrs.insert(blk.instrs.end(), succ.instrs.begin(),
+                              succ.instrs.end());
             // s becomes an unreachable stub.
             succ.instrs.clear();
             Instr h;
             h.op = Op::kHalt;
             succ.instrs.push_back(h);
-            preds[s].clear();
-            // b's successor set changed; recompute preds of new succs
-            // conservatively by full recompute (cheap enough).
-            preds = fn.predecessors();
+            pred_count[s] = 0;
             changed = true;
         }
     }

@@ -7,6 +7,7 @@
 #include <gtest/gtest.h>
 
 #include <memory>
+#include <random>
 
 #include "analysis/liveness.hpp"
 #include "analysis/replication.hpp"
@@ -207,6 +208,43 @@ TEST(Partition, CrossEdgesCounted)
         if (p.tile_of[e.from] != p.tile_of[e.to])
             cross++;
     EXPECT_EQ(cross, p.cross_edges);
+}
+
+// Property: the O(n) incremental swap delta used by greedy-swap and
+// anneal placement must equal the cost difference of two full O(n²)
+// recomputes, for randomized traffic matrices and assignments.
+TEST(Place, SwapDeltaMatchesFullRecompute)
+{
+    std::mt19937 rng(20260805);
+    for (int trial = 0; trial < 200; trial++) {
+        MachineConfig machine =
+            MachineConfig::base(trial % 2 ? 4 : 16);
+        std::uniform_int_distribution<int> n_dist(2, 12);
+        const int n = n_dist(rng);
+        std::uniform_int_distribution<int> w_dist(0, 1000);
+        std::vector<std::vector<int>> w(n, std::vector<int>(n, 0));
+        for (int a = 0; a < n; a++)
+            for (int b = a + 1; b < n; b++)
+                w[a][b] = w[b][a] = w_dist(rng);
+        std::uniform_int_distribution<int> tile_dist(
+            0, machine.n_tiles - 1);
+        std::vector<int> tile_of(n);
+        for (int a = 0; a < n; a++)
+            tile_of[a] = tile_dist(rng);
+        std::uniform_int_distribution<int> p_dist(0, n - 1);
+        int i = p_dist(rng), j = p_dist(rng);
+        if (i == j)
+            continue;
+        int64_t delta =
+            placement_swap_delta(w, tile_of, machine, i, j);
+        int64_t before =
+            placement_assignment_cost(w, tile_of, machine);
+        std::swap(tile_of[i], tile_of[j]);
+        int64_t after =
+            placement_assignment_cost(w, tile_of, machine);
+        EXPECT_EQ(delta, after - before)
+            << "trial " << trial << " i=" << i << " j=" << j;
+    }
 }
 
 } // namespace

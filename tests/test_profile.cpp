@@ -205,9 +205,8 @@ TEST(Profile, DynamicNetworkCountersMove)
 TEST(Fifo, PushWithoutSpacePanics)
 {
     Fifo f(1);
-    f.begin_cycle();
-    f.push(1);
-    EXPECT_THROW(f.push(2), PanicError);
+    f.push(0, 1);
+    EXPECT_THROW(f.push(0, 2), PanicError);
 }
 
 TEST(Fifo, SameCyclePopPanics)
@@ -215,27 +214,22 @@ TEST(Fifo, SameCyclePopPanics)
     // A value pushed in cycle t must not be poppable before t+1:
     // pop() without a can_pop()-visible word is a simulator bug.
     Fifo f(2);
-    f.begin_cycle();
-    f.push(7);
-    EXPECT_FALSE(f.can_pop());
-    EXPECT_THROW(f.pop(), PanicError);
-    EXPECT_THROW(f.front(), PanicError);
-    f.begin_cycle();
-    EXPECT_TRUE(f.can_pop());
-    EXPECT_EQ(f.pop(), 7u);
+    f.push(0, 7);
+    EXPECT_FALSE(f.can_pop(0));
+    EXPECT_THROW(f.pop(0), PanicError);
+    EXPECT_THROW(f.front(0), PanicError);
+    EXPECT_TRUE(f.can_pop(1));
+    EXPECT_EQ(f.pop(1), 7u);
 }
 
 TEST(Fifo, FreedSpaceNotReusableSameCycle)
 {
     Fifo f(1);
-    f.begin_cycle();
-    f.push(1);
-    f.begin_cycle();
-    EXPECT_EQ(f.pop(), 1u);
+    f.push(0, 1);
+    EXPECT_EQ(f.pop(1), 1u);
     // Space freed by the pop opens at the next cycle edge.
-    EXPECT_THROW(f.push(2), PanicError);
-    f.begin_cycle();
-    f.push(2);
+    EXPECT_THROW(f.push(1, 2), PanicError);
+    f.push(2, 2);
 }
 
 TEST(Deadlock, DiagnosticNamesStallReason)

@@ -16,15 +16,13 @@ namespace {
 TEST(Fifo, VisibilityIsOneCycleDelayed)
 {
     Fifo f(2);
-    f.begin_cycle();
-    EXPECT_FALSE(f.can_pop());
-    EXPECT_TRUE(f.can_push());
-    f.push(7);
+    EXPECT_FALSE(f.can_pop(0));
+    EXPECT_TRUE(f.can_push(0));
+    f.push(0, 7);
     // Same cycle: the pushed word is not yet visible.
-    EXPECT_FALSE(f.can_pop());
-    f.begin_cycle();
-    EXPECT_TRUE(f.can_pop());
-    EXPECT_EQ(f.pop(), 7u);
+    EXPECT_FALSE(f.can_pop(0));
+    EXPECT_TRUE(f.can_pop(1));
+    EXPECT_EQ(f.pop(1), 7u);
 }
 
 TEST(Fifo, SteadyStateOneWordPerCycle)
@@ -32,14 +30,13 @@ TEST(Fifo, SteadyStateOneWordPerCycle)
     Fifo f(2);
     int delivered = 0;
     uint32_t next_push = 0, expect_pop = 0;
-    for (int cycle = 0; cycle < 20; cycle++) {
-        f.begin_cycle();
-        if (f.can_pop()) {
-            EXPECT_EQ(f.pop(), expect_pop++);
+    for (int64_t cycle = 0; cycle < 20; cycle++) {
+        if (f.can_pop(cycle)) {
+            EXPECT_EQ(f.pop(cycle), expect_pop++);
             delivered++;
         }
-        if (f.can_push())
-            f.push(next_push++);
+        if (f.can_push(cycle))
+            f.push(cycle, next_push++);
     }
     EXPECT_GE(delivered, 18) << "sustains ~1 word/cycle";
 }
@@ -47,18 +44,46 @@ TEST(Fifo, SteadyStateOneWordPerCycle)
 TEST(Fifo, CapacityBounds)
 {
     Fifo f(2);
-    f.begin_cycle();
-    f.push(1);
-    f.push(2);
-    EXPECT_FALSE(f.can_push());
-    f.begin_cycle();
-    EXPECT_FALSE(f.can_push()) << "still full";
-    EXPECT_EQ(f.pop(), 1u);
+    f.push(0, 1);
+    f.push(0, 2);
+    EXPECT_FALSE(f.can_push(0));
+    EXPECT_FALSE(f.can_push(1)) << "still full";
+    EXPECT_EQ(f.pop(1), 1u);
     // Space freed by a pop becomes visible at the next cycle edge
     // (registered ports), not within the same cycle.
-    EXPECT_FALSE(f.can_push());
-    f.begin_cycle();
-    EXPECT_TRUE(f.can_push());
+    EXPECT_FALSE(f.can_push(1));
+    EXPECT_TRUE(f.can_push(2));
+}
+
+TEST(Fifo, RingWrapsAtFullCapacity)
+{
+    // Fill, drain, and refill across the ring seam at max capacity.
+    Fifo f(4);
+    int64_t cycle = 0;
+    for (uint32_t round = 0; round < 3; round++) {
+        for (uint32_t i = 0; i < 4; i++)
+            f.push(cycle, round * 10 + i);
+        cycle++;
+        for (uint32_t i = 0; i < 4; i++)
+            EXPECT_EQ(f.pop(cycle), round * 10 + i);
+        cycle++;
+    }
+    EXPECT_TRUE(f.empty());
+}
+
+TEST(Fifo, CycleJumpsActLikeElapsedCycles)
+{
+    // The quiescence fast-forward advances `now` by many cycles at
+    // once; the FIFO must treat a jump exactly like that many idle
+    // cycles (counters reset, contents intact).
+    Fifo f(2);
+    f.push(3, 9);
+    EXPECT_FALSE(f.can_pop(3));
+    EXPECT_TRUE(f.can_pop(1000));
+    EXPECT_EQ(f.pop(1000), 9u);
+    f.push(1000, 10);
+    EXPECT_FALSE(f.can_pop(1000));
+    EXPECT_EQ(f.pop(2000), 10u);
 }
 
 TEST(Memory, LowOrderInterleaving)

@@ -1,0 +1,83 @@
+/**
+ * @file
+ * golden_gen — record golden simulator outputs for the determinism
+ * suite (tests/test_golden_determinism.cpp).
+ *
+ * For a fixed set of (benchmark, machine size, fault config) points
+ * this writes one text file per point into the directory given as
+ * argv[1], capturing everything the simulator promises to keep
+ * bit-identical across performance work: the cycle count, the
+ * aggregate instruction/route/stall counters, the per-category
+ * profile sums (which must also sum to cycles on every tile), the
+ * issue histogram, and the full print trace.
+ *
+ * The committed files under tests/goldens/ were generated from the
+ * pre-optimization (PR 1) simulator.  Regenerate only when simulator
+ * *semantics* intentionally change, never for performance work.
+ */
+
+#include <cstdio>
+#include <fstream>
+#include <string>
+
+#include "harness/harness.hpp"
+#include "sim/profile.hpp"
+
+namespace {
+
+struct GoldenPoint
+{
+    const char *bench;
+    int tiles;
+    raw::FaultConfig faults;
+};
+
+const GoldenPoint kPoints[] = {
+    {"life", 1, {}},      {"life", 4, {}},      {"life", 16, {}},
+    {"cholesky", 1, {}},  {"cholesky", 4, {}},  {"cholesky", 16, {}},
+    {"mxm", 1, {}},       {"mxm", 4, {}},       {"mxm", 16, {}},
+    {"jacobi", 1, {}},    {"jacobi", 4, {}},    {"jacobi", 16, {}},
+    // One fault-injected point so the quiescence fast-forward is
+    // pinned under random extra memory latency too.
+    {"jacobi", 4, {0.01, 20, 42}},
+};
+
+std::string
+point_filename(const GoldenPoint &p)
+{
+    std::string name = std::string(p.bench) + "_n" +
+                       std::to_string(p.tiles);
+    if (p.faults.miss_rate > 0)
+        name += "_fault";
+    return name + ".golden";
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    if (argc != 2) {
+        std::fprintf(stderr, "usage: golden_gen <output-dir>\n");
+        return 2;
+    }
+    const std::string dir = argv[1];
+    for (const GoldenPoint &p : kPoints) {
+        const raw::BenchmarkProgram &prog = raw::benchmark(p.bench);
+        raw::RunResult r =
+            raw::run_rawcc(prog.source,
+                           raw::MachineConfig::base(p.tiles),
+                           prog.check_array, {}, p.faults);
+        const raw::SimResult &s = r.sim;
+        std::string path = dir + "/" + point_filename(p);
+        std::ofstream out(path);
+        if (!out) {
+            std::fprintf(stderr, "cannot write %s\n", path.c_str());
+            return 1;
+        }
+        out << raw::golden_summary(p.bench, p.tiles, p.faults, s);
+        std::printf("wrote %s (cycles %lld)\n", path.c_str(),
+                    static_cast<long long>(s.cycles));
+    }
+    return 0;
+}
