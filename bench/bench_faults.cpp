@@ -1,0 +1,131 @@
+/**
+ * @file
+ * Fault-injection campaign bench: sweep benchmarks × seeds × fault
+ * channels through run_fault_campaign and require every point to
+ * reproduce the clean reference (the static-ordering property under
+ * adversarial timing).  Writes BENCH_faults.json (override with
+ * --json-out) aggregating one campaign report per (bench, seed).
+ *
+ * Flags: --smoke runs the tiny CI configuration — 2 benchmarks ×
+ * 3 seeds × 6 points each at 4 tiles, covering every channel (ctest
+ * label fault-smoke); --bench NAME restricts to one benchmark;
+ * --points N / --seed S / --tiles N / --jobs N tune the full sweep.
+ *
+ * Exit status is nonzero if any campaign point failed, so the smoke
+ * run doubles as a correctness gate.
+ */
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "harness/campaign.hpp"
+#include "harness/parallel.hpp"
+#include "programs/programs.hpp"
+
+namespace {
+
+struct SweepSpec
+{
+    std::string bench;
+    uint64_t seed = 0;
+    int points = 0;
+};
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    std::string json_out = "BENCH_faults.json";
+    std::string only_bench;
+    bool smoke = false;
+    int tiles = 4;
+    int points = 16;
+    int jobs = 0;
+    uint64_t seed = 1;
+    for (int i = 1; i < argc; i++) {
+        if (std::strcmp(argv[i], "--json-out") == 0 && i + 1 < argc)
+            json_out = argv[++i];
+        else if (std::strcmp(argv[i], "--bench") == 0 && i + 1 < argc)
+            only_bench = argv[++i];
+        else if (std::strcmp(argv[i], "--points") == 0 && i + 1 < argc)
+            points = std::atoi(argv[++i]);
+        else if (std::strcmp(argv[i], "--tiles") == 0 && i + 1 < argc)
+            tiles = std::atoi(argv[++i]);
+        else if (std::strcmp(argv[i], "--jobs") == 0 && i + 1 < argc)
+            jobs = std::atoi(argv[++i]);
+        else if (std::strcmp(argv[i], "--seed") == 0 && i + 1 < argc)
+            seed = std::strtoull(argv[++i], nullptr, 10);
+        else if (std::strcmp(argv[i], "--smoke") == 0)
+            smoke = true;
+        else {
+            std::fprintf(stderr, "unknown flag %s\n", argv[i]);
+            return 2;
+        }
+    }
+
+    std::vector<SweepSpec> sweeps;
+    if (smoke) {
+        // 2 benchmarks × 3 seeds × 6 points: point indices 1..5 cover
+        // every channel {miss, route, dyn, jitter, all} once.
+        for (const char *b : {"jacobi", "cholesky"})
+            for (uint64_t s : {1, 2, 3})
+                sweeps.push_back({b, s, 6});
+    } else if (!only_bench.empty()) {
+        sweeps.push_back({only_bench, seed, points});
+    } else {
+        for (const raw::BenchmarkProgram &prog :
+             raw::benchmark_suite())
+            sweeps.push_back({prog.name, seed, points});
+    }
+
+    std::vector<raw::CampaignReport> reports;
+    int failed = 0;
+    for (const SweepSpec &sw : sweeps) {
+        raw::CampaignReport rep = raw::run_fault_campaign(
+            sw.bench, raw::MachineConfig::base(tiles), sw.points,
+            sw.seed, jobs);
+        std::printf("%s\n", rep.summary().c_str());
+        failed += rep.failed_points();
+        reports.push_back(std::move(rep));
+    }
+
+    std::ofstream out(json_out);
+    if (!out) {
+        std::fprintf(stderr, "cannot open %s for writing\n",
+                     json_out.c_str());
+        return 1;
+    }
+    out << "{\n  \"table\": \"faults\",\n";
+    out << "  \"smoke\": " << (smoke ? "true" : "false") << ",\n";
+    out << "  \"failed_points\": " << failed << ",\n";
+    out << "  \"campaigns\": [\n";
+    for (size_t i = 0; i < reports.size(); i++) {
+        // to_json() emits a complete object; indent it under the
+        // aggregate array.
+        std::string js = reports[i].to_json();
+        std::string indented = "    ";
+        for (size_t j = 0; j < js.size(); j++) {
+            char c = js[j];
+            if (c == '\n' && j + 1 < js.size())
+                indented += "\n    ";
+            else if (c != '\n')
+                indented += c;
+        }
+        out << indented << (i + 1 < reports.size() ? "," : "") << "\n";
+    }
+    out << "  ]\n}\n";
+    std::printf("wrote %s\n", json_out.c_str());
+
+    if (failed > 0) {
+        std::fprintf(stderr,
+                     "fault campaign FAILED: %d point(s) diverged\n",
+                     failed);
+        return 1;
+    }
+    return 0;
+}

@@ -1,0 +1,90 @@
+#ifndef RAW_HARNESS_CAMPAIGN_HPP
+#define RAW_HARNESS_CAMPAIGN_HPP
+
+/**
+ * @file
+ * Fault-injection campaign driver.
+ *
+ * A campaign compiles one benchmark once, then sweeps N fault points
+ * — seeds × channels × intensities — through the parallel pool, each
+ * point a full simulation with the runtime checker enabled.  Point 0
+ * is always the clean (fault-free) reference; by the static-ordering
+ * property (Appendix A) every other point must reproduce its print
+ * trace, check-array contents and provenance-stream hash bit for bit,
+ * with zero self-check failures.  Any divergence, self-check failure
+ * or unexpected deadlock fails that point; the sweep always completes
+ * and the aggregate report says exactly which points failed and why.
+ */
+
+#include <string>
+#include <vector>
+
+#include "machine/machine.hpp"
+#include "rawcc/compiler.hpp"
+#include "sim/simulator.hpp"
+
+namespace raw {
+
+/** One point of the sweep: a fault config plus its outcome. */
+struct CampaignPoint
+{
+    int index = 0;
+    FaultConfig faults;
+    /** "clean" | "miss" | "route" | "dyn" | "jitter" | "all". */
+    std::string channels;
+    int64_t cycles = 0;
+    int64_t check_failures = 0;
+    uint64_t prov_hash = 0;
+    bool trace_match = false;
+    bool array_match = false;
+    bool hash_match = false;
+    /** Empty on success; exception or divergence message otherwise. */
+    std::string error;
+
+    bool ok() const
+    {
+        return error.empty() && trace_match && array_match &&
+               hash_match && check_failures == 0;
+    }
+};
+
+/** Aggregate outcome of one campaign. */
+struct CampaignReport
+{
+    std::string bench;
+    int tiles = 0;
+    uint64_t base_seed = 0;
+    std::vector<CampaignPoint> points;
+
+    /** Did every point reproduce the reference cleanly? */
+    bool clean() const;
+    int failed_points() const;
+    /** Machine-readable report (schema in docs/robustness.md). */
+    std::string to_json() const;
+    /** One-paragraph human summary. */
+    std::string summary() const;
+};
+
+/**
+ * The fault config of sweep point @p index (0 = clean reference).
+ * Points cycle through the channels {miss, route, dyn, jitter, all}
+ * at escalating intensities, each with a distinct seed derived from
+ * @p base_seed, so any point can be replayed in isolation from its
+ * (index, base_seed) pair alone.
+ */
+FaultConfig campaign_point(uint64_t base_seed, int index);
+
+/**
+ * Run an @p n_points campaign of @p bench on @p machine with
+ * @p jobs workers (0 = hardware concurrency).  Compiles once;
+ * never throws for per-point failures.
+ */
+CampaignReport run_fault_campaign(const std::string &bench,
+                                  const MachineConfig &machine,
+                                  int n_points, uint64_t base_seed,
+                                  int jobs,
+                                  const CompilerOptions &opts = {});
+
+} // namespace raw
+
+#endif // RAW_HARNESS_CAMPAIGN_HPP

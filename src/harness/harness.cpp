@@ -15,11 +15,11 @@ namespace {
 
 RunResult
 simulate(CompileOutput out, const std::string &check_array,
-         const FaultConfig &faults)
+         const FaultConfig &faults, const CheckConfig &checks = {})
 {
     RunResult r;
     r.stats = out.stats;
-    Simulator sim(out.program, faults);
+    Simulator sim(out.program, faults, checks);
     r.sim = sim.run();
     r.cycles = r.sim.cycles;
     if (!check_array.empty() &&
@@ -34,10 +34,10 @@ simulate(CompileOutput out, const std::string &check_array,
 RunResult
 run_rawcc(const std::string &source, const MachineConfig &machine,
           const std::string &check_array, const CompilerOptions &opts,
-          const FaultConfig &faults)
+          const FaultConfig &faults, const CheckConfig &checks)
 {
     return simulate(compile_source(source, machine, opts), check_array,
-                    faults);
+                    faults, checks);
 }
 
 RunResult
@@ -107,6 +107,15 @@ golden_summary(const std::string &bench, int tiles,
     out << "bench " << bench << "\n";
     out << "tiles " << tiles << "\n";
     out << "miss_rate " << faults.miss_rate << "\n";
+    // Newer fault channels print only when enabled so every golden
+    // that predates them stays byte-identical.
+    if (faults.multi_channel()) {
+        out << "route_stall " << faults.route_stall_rate << " "
+            << faults.route_stall_cycles << "\n";
+        out << "dyn_delay " << faults.dyn_delay_rate << " "
+            << faults.dyn_delay_cycles << "\n";
+        out << "jitter " << faults.jitter_rate << "\n";
+    }
     out << "cycles " << s.cycles << "\n";
     out << "instrs " << s.instrs_executed << "\n";
     out << "switch_instrs " << s.switch_instrs_executed << "\n";

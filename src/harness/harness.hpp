@@ -35,7 +35,8 @@ RunResult run_rawcc(const std::string &source,
                     const MachineConfig &machine,
                     const std::string &check_array = "",
                     const CompilerOptions &opts = {},
-                    const FaultConfig &faults = {});
+                    const FaultConfig &faults = {},
+                    const CheckConfig &checks = {});
 
 /** Compile sequentially (one tile) and simulate. */
 RunResult run_baseline(const std::string &source,

@@ -2,11 +2,68 @@
 
 #include <atomic>
 #include <exception>
-#include <mutex>
 #include <thread>
-#include <vector>
 
 namespace raw {
+
+namespace {
+
+/**
+ * Shared pool core: run every job, capturing a thrown exception into
+ * that job's slot.  Slots are written by exactly one worker each, so
+ * no lock is needed.  The calling thread is always one of the
+ * workers, so even if std::thread construction fails every job still
+ * runs (degraded to fewer workers, never lost or hung).
+ */
+std::vector<std::exception_ptr>
+run_all(int n_jobs, int n_threads,
+        const std::function<void(int)> &job)
+{
+    std::vector<std::exception_ptr> errs(n_jobs);
+    if (n_jobs <= 0)
+        return errs;
+    n_threads = std::min(n_threads, n_jobs);
+    if (n_threads <= 1) {
+        for (int i = 0; i < n_jobs; i++) {
+            try {
+                job(i);
+            } catch (...) {
+                errs[i] = std::current_exception();
+            }
+        }
+        return errs;
+    }
+
+    std::atomic<int> next{0};
+    auto worker = [&] {
+        for (;;) {
+            int i = next.fetch_add(1, std::memory_order_relaxed);
+            if (i >= n_jobs)
+                return;
+            try {
+                job(i);
+            } catch (...) {
+                errs[i] = std::current_exception();
+            }
+        }
+    };
+
+    std::vector<std::thread> pool;
+    pool.reserve(n_threads - 1);
+    try {
+        for (int t = 0; t < n_threads - 1; t++)
+            pool.emplace_back(worker);
+    } catch (...) {
+        // Resource exhaustion spawning workers: whatever started is
+        // joined below and the calling thread drains the rest.
+    }
+    worker();
+    for (std::thread &t : pool)
+        t.join();
+    return errs;
+}
+
+} // namespace
 
 int
 resolve_jobs(int jobs)
@@ -21,45 +78,30 @@ void
 run_parallel(int n_jobs, int n_threads,
              const std::function<void(int)> &job)
 {
-    if (n_jobs <= 0)
-        return;
-    n_threads = std::min(n_threads, n_jobs);
-    if (n_threads <= 1) {
-        for (int i = 0; i < n_jobs; i++)
-            job(i);
-        return;
-    }
+    for (std::exception_ptr &e : run_all(n_jobs, n_threads, job))
+        if (e)
+            std::rethrow_exception(e);
+}
 
-    std::atomic<int> next{0};
-    std::mutex err_mu;
-    std::exception_ptr first_error;
-    int first_error_job = -1;
-
-    auto worker = [&] {
-        for (;;) {
-            int i = next.fetch_add(1, std::memory_order_relaxed);
-            if (i >= n_jobs)
-                return;
-            try {
-                job(i);
-            } catch (...) {
-                std::lock_guard<std::mutex> lock(err_mu);
-                if (first_error_job < 0 || i < first_error_job) {
-                    first_error_job = i;
-                    first_error = std::current_exception();
-                }
-            }
+std::vector<std::string>
+run_parallel_collect(int n_jobs, int n_threads,
+                     const std::function<void(int)> &job)
+{
+    std::vector<std::exception_ptr> errs =
+        run_all(n_jobs, n_threads, job);
+    std::vector<std::string> out(errs.size());
+    for (size_t i = 0; i < errs.size(); i++) {
+        if (!errs[i])
+            continue;
+        try {
+            std::rethrow_exception(errs[i]);
+        } catch (const std::exception &ex) {
+            out[i] = ex.what()[0] ? ex.what() : "unknown error";
+        } catch (...) {
+            out[i] = "unknown error";
         }
-    };
-
-    std::vector<std::thread> pool;
-    pool.reserve(n_threads);
-    for (int t = 0; t < n_threads; t++)
-        pool.emplace_back(worker);
-    for (std::thread &t : pool)
-        t.join();
-    if (first_error)
-        std::rethrow_exception(first_error);
+    }
+    return out;
 }
 
 } // namespace raw

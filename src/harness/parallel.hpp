@@ -10,9 +10,16 @@
  * bit-identical at any thread count.  Jobs are claimed from an atomic
  * counter and write into caller-indexed slots, so output order never
  * depends on scheduling.
+ *
+ * The pool is exception-safe: a job that throws (FatalError,
+ * PanicError, anything derived from std::exception) fails only its
+ * own slot; sibling jobs always run to completion and the workers
+ * always join, at any thread count including the inline path.
  */
 
 #include <functional>
+#include <string>
+#include <vector>
 
 namespace raw {
 
@@ -25,11 +32,21 @@ int resolve_jobs(int jobs);
 /**
  * Run @p job for every index in [0, n_jobs) using up to @p n_threads
  * worker threads (clamped to n_jobs; n_threads <= 1 runs inline).
- * Blocks until every job finished.  If any job throws, the first
- * exception (by job index) is rethrown after all workers join.
+ * Blocks until every job finished.  If any job threw, the first
+ * captured exception (by job index) is rethrown afterwards.
  */
 void run_parallel(int n_jobs, int n_threads,
                   const std::function<void(int)> &job);
+
+/**
+ * Like run_parallel, but never throws for job failures: returns one
+ * string per job slot — empty on success, the captured exception
+ * message on failure.  Campaign drivers use this to aggregate
+ * per-point failures instead of aborting the sweep.
+ */
+std::vector<std::string>
+run_parallel_collect(int n_jobs, int n_threads,
+                     const std::function<void(int)> &job);
 
 } // namespace raw
 

@@ -1,0 +1,214 @@
+#include "sim/simulator.hpp"
+
+#include <sstream>
+
+/**
+ * @file
+ * Exact deadlock diagnosis via a wait-for graph.
+ *
+ * When run() proves the machine frozen (no progress and no time-gated
+ * wake pending) — or the stall-count backstop fires — this builds a
+ * wait-for graph over the blocked units and reports the blocking
+ * cycle: who waits on whom, at which pc, through which port.
+ *
+ * Nodes are processors, switches, and remote-memory handlers.  An
+ * edge u -> v means "u cannot advance until v acts":
+ *  - a processor blocked on an empty s2p port or a full p2s port
+ *    waits on its own switch (the sole producer/consumer of those
+ *    single-reader/single-writer FIFOs);
+ *  - a ROUTE waits on whoever feeds each empty input (the local
+ *    processor for p2s, the neighboring switch for a link) and on
+ *    whoever drains each full output (AND-wait: the instruction fires
+ *    only when every condition clears, so a cycle through *any*
+ *    blocking edge is unresolvable);
+ *  - a processor with an outstanding dynamic request waits on the
+ *    home tile's handler.  Handler nodes have no outgoing edges: the
+ *    dynamic network is deadlock-free (separate request/reply planes,
+ *    dimension-ordered routing), so they can never close a cycle.
+ * Time-gated stalls (scoreboard deadlines, injected route stalls)
+ * get no edge — they clear by themselves and cannot deadlock.
+ */
+
+namespace raw {
+
+namespace {
+
+struct Edge
+{
+    int to;
+    std::string why;
+};
+
+} // namespace
+
+void
+Simulator::report_deadlock(int64_t now, bool timeout,
+                           int64_t stall_limit)
+{
+    const int n = prog_.machine.n_tiles;
+    // Node ids: [0,n) processors, [n,2n) switches, [2n,3n) handlers.
+    std::vector<std::vector<Edge>> g(3 * n);
+    auto unit_name = [&](int v) {
+        std::ostringstream os;
+        if (v < n)
+            os << "proc" << v << "@pc" << procs_[v].pc;
+        else if (v < 2 * n)
+            os << "sw" << (v - n) << "@pc" << switches_[v - n].pc;
+        else
+            os << "dyn" << (v - 2 * n);
+        return os.str();
+    };
+
+    for (int t = 0; t < n; t++) {
+        const Proc &p = procs_[t];
+        if (p.halted)
+            continue;
+        if (p.waiting_dyn) {
+            int home = p.dyn_home >= 0 ? p.dyn_home : t;
+            if (p.inject_pos < p.inject.size())
+                g[t].push_back({2 * n + home,
+                                "request inject blocked (request-"
+                                "plane backpressure)"});
+            else
+                g[t].push_back(
+                    {2 * n + home, "awaits remote-memory reply"});
+            continue;
+        }
+        const PInstr &in = prog_.tiles[t].code[p.pc];
+        bool recv_blocked = !s2p_[t].can_pop(now);
+        if (in.op == Op::kRecv && recv_blocked)
+            g[t].push_back({n + t, "recv on empty s2p port"});
+        for (int r : in.src)
+            if (r == kPortOperand && recv_blocked) {
+                g[t].push_back({n + t, "recv on empty s2p port"});
+                break;
+            }
+        if ((in.op == Op::kSend || in.dst == kPortOperand) &&
+            !p2s_[t].can_push(now))
+            g[t].push_back({n + t, "send into full p2s port"});
+    }
+    for (int t = 0; t < n; t++) {
+        const Sw &sw = switches_[t];
+        if (sw.halted)
+            continue;
+        if (faults_.route_stall_rate > 0.0 &&
+            sw_stall_until_[t] > now)
+            continue; // injected hold: time-gated, clears itself
+        const SInstr &in = prog_.switches[t].code[sw.pc];
+        if (in.k != SInstr::K::kRoute)
+            continue; // other switch opcodes always retire
+        for (const RoutePair &r : in.routes) {
+            Fifo &src = r.in == Dir::kProc ? p2s_[t]
+                                           : in_link(t, r.in);
+            if (!src.can_pop(now)) {
+                if (r.in == Dir::kProc) {
+                    g[n + t].push_back(
+                        {t, "awaits word from its processor "
+                            "(p2s empty)"});
+                } else {
+                    int nb = prog_.machine.neighbor(t, r.in);
+                    g[n + t].push_back(
+                        {n + nb, std::string("awaits word on its ") +
+                                     dir_name(r.in) +
+                                     " input link (empty)"});
+                }
+            }
+            for (int d = 0; d < kNumDirs; d++) {
+                if (!(r.out_mask & (1u << d)))
+                    continue;
+                Dir dir = static_cast<Dir>(d);
+                Fifo &dst = dir == Dir::kProc ? s2p_[t]
+                                              : out_link(t, dir);
+                if (dst.can_push(now))
+                    continue;
+                if (dir == Dir::kProc) {
+                    g[n + t].push_back(
+                        {t, "s2p port full (processor must "
+                            "consume)"});
+                } else {
+                    int nb = prog_.machine.neighbor(t, dir);
+                    g[n + t].push_back(
+                        {n + nb, std::string(dir_name(dir)) +
+                                     " output link full (neighbor "
+                                     "must drain)"});
+                }
+            }
+        }
+    }
+
+    // DFS for any cycle; gray-stack membership pinpoints it.
+    std::vector<int> state(3 * n, 0); // 0 white, 1 gray, 2 black
+    std::vector<int> path;
+    std::vector<const Edge *> via; // edge into path[i] (null at root)
+    std::vector<std::pair<int, const Edge *>> cycle;
+    struct Frame
+    {
+        int v;
+        size_t ei;
+    };
+    for (int s = 0; s < 3 * n && cycle.empty(); s++) {
+        if (state[s] != 0)
+            continue;
+        std::vector<Frame> st{{s, 0}};
+        state[s] = 1;
+        path.assign(1, s);
+        via.assign(1, nullptr);
+        while (!st.empty() && cycle.empty()) {
+            Frame &f = st.back();
+            if (f.ei < g[f.v].size()) {
+                const Edge &e = g[f.v][f.ei++];
+                if (state[e.to] == 0) {
+                    state[e.to] = 1;
+                    st.push_back({e.to, 0});
+                    path.push_back(e.to);
+                    via.push_back(&e);
+                } else if (state[e.to] == 1) {
+                    size_t k = 0;
+                    while (path[k] != e.to)
+                        k++;
+                    for (; k < path.size(); k++)
+                        cycle.push_back({path[k],
+                                         k + 1 < path.size()
+                                             ? via[k + 1]
+                                             : &e});
+                }
+            } else {
+                state[f.v] = 2;
+                st.pop_back();
+                path.pop_back();
+                via.pop_back();
+            }
+        }
+    }
+
+    std::ostringstream os;
+    if (timeout)
+        os << "deadlock: no progress for " << stall_limit
+           << " cycles at cycle " << now << "; ";
+    else
+        os << "deadlock (wait-for-graph) at cycle " << now
+           << ": machine frozen with no pending wake; ";
+    if (!cycle.empty()) {
+        os << "blocking cycle: ";
+        for (const auto &step : cycle)
+            os << unit_name(step.first) << " -[" << step.second->why
+               << "]-> ";
+        os << unit_name(cycle.front().first);
+    } else {
+        os << "no wait-for cycle found"
+           << (timeout ? " (livelock or perturbation-induced stall)"
+                       : "");
+    }
+    os << "; units: ";
+    for (int t = 0; t < n; t++) {
+        if (!procs_[t].halted)
+            os << "proc" << t << "@pc" << procs_[t].pc << "("
+               << proc_cycle_name(last_proc_cat_[t]) << ") ";
+        if (!switches_[t].halted)
+            os << "sw" << t << "@pc" << switches_[t].pc << "("
+               << switch_cycle_name(last_sw_cat_[t]) << ") ";
+    }
+    throw DeadlockError(os.str());
+}
+
+} // namespace raw

@@ -189,7 +189,9 @@ Simulator::deliver_dyn(int tile, const std::vector<uint32_t> &msg,
     DynKind kind = dyn_hdr_kind(msg[0]);
     if (kind == DynKind::kLoadReq || kind == DynKind::kStoreReq) {
         DynState &q = dyn_[tile];
-        q.inbox.push_back({now, msg});
+        // Dyn-delay channel: a delayed request matures later; the
+        // handler gate below honors the arrival time.
+        q.inbox.push_back({now + dyn_delay_extra(), msg});
         wake_dyn(tile);
         TileProfile &tp = stats_.profile.tiles[tile];
         tp.dyn_max_queue =
@@ -201,7 +203,7 @@ Simulator::deliver_dyn(int tile, const std::vector<uint32_t> &msg,
     DynState &d = dyn_[tile];
     check(!d.reply_ready, "dynamic network: reply overrun");
     d.reply_ready = true;
-    d.reply_time = now + 1;
+    d.reply_time = now + 1 + dyn_delay_extra();
     d.reply_value =
         kind == DynKind::kLoadReply && msg.size() > 1 ? msg[1] : 0;
 }
@@ -230,7 +232,8 @@ Simulator::step_dyn(int tile, int64_t now)
         return; // one reply at a time keeps ordering simple
     }
 
-    if (d.inbox.empty() || d.handler_free > now)
+    if (d.inbox.empty() || d.handler_free > now ||
+        d.inbox.front().arrival > now)
         return;
 
     const DynState::InMsg &im = d.inbox.front();

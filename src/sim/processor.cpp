@@ -13,6 +13,13 @@ Simulator::step_proc(int tile, int64_t now)
         return;
     }
 
+    // Clock-jitter channel: this tile loses its cycle entirely.
+    if (jitter_hit()) {
+        stats_.proc_stall_cycles++;
+        account_proc(tile, now, ProcCycle::kOperandWait);
+        return;
+    }
+
     const std::vector<PInstr> &code = prog_.tiles[tile].code;
     check(p.pc >= 0 && p.pc < static_cast<int64_t>(code.size()),
           "processor ran off the end of its stream");
@@ -46,6 +53,7 @@ Simulator::step_proc(int tile, int64_t now)
             }
             d.reply_ready = false;
             p.waiting_dyn = false;
+            p.dyn_home = -1;
             p.pc++;
             stats_.instrs_executed++;
             progress_ = true;
@@ -65,10 +73,24 @@ Simulator::step_proc(int tile, int64_t now)
     };
     // Read a source operand; a port operand consumes the word (only
     // call once per operand, after every readiness check passed).
-    auto read_src = [&](int r) -> uint32_t {
-        if (r == kPortOperand)
-            return s2p_[tile].pop(now);
+    // @p slot distinguishes the two operand positions of one static
+    // consumption point for the provenance checker.
+    auto read_src = [&](int r, int slot) -> uint32_t {
+        if (r == kPortOperand) {
+            uint32_t v = s2p_[tile].pop(now);
+            if (checker_) {
+                WordProv o =
+                    checker_->take_s2p(tile, s2p_[tile], now);
+                checker_->consume_proc(tile, p.pc, slot, o, v, now);
+            }
+            return v;
+        }
         return r >= 0 ? p.regs[r] : 0;
+    };
+    // Mirror a p2s push in the provenance shadow (origin = this pc).
+    auto sent = [&] {
+        if (checker_)
+            checker_->send_p2s(tile, p.pc, p2s_[tile], now);
     };
     // Why is operand @p r not ready: empty input port or scoreboard?
     auto wait_cat = [&](int r) {
@@ -93,6 +115,7 @@ Simulator::step_proc(int tile, int64_t now)
             if (!p2s_[tile].can_push(now))
                 return stall(ProcCycle::kSendBlocked);
             p2s_[tile].push(now, in.imm);
+            sent();
         } else {
             p.regs[in.dst] = in.imm;
             p.busy[in.dst] = now + 1;
@@ -107,6 +130,7 @@ Simulator::step_proc(int tile, int64_t now)
             return stall(ProcCycle::kSendBlocked);
         uint32_t v = in.src[0] >= 0 ? p.regs[in.src[0]] : 0;
         p2s_[tile].push(now, v);
+        sent();
         done();
         return;
       }
@@ -115,6 +139,10 @@ Simulator::step_proc(int tile, int64_t now)
         if (!s2p_[tile].can_pop(now))
             return stall(ProcCycle::kRecvBlocked);
         uint32_t v = s2p_[tile].pop(now);
+        if (checker_) {
+            WordProv o = checker_->take_s2p(tile, s2p_[tile], now);
+            checker_->consume_proc(tile, p.pc, 0, o, v, now);
+        }
         if (in.dst >= 0) {
             p.regs[in.dst] = v;
             p.busy[in.dst] = now + 1;
@@ -149,7 +177,7 @@ Simulator::step_proc(int tile, int64_t now)
             return stall(wait_cat(in.src[0]));
         if (!ready(in.src[1]))
             return stall(wait_cat(in.src[1]));
-        uint32_t v = read_src(in.src[1]);
+        uint32_t v = read_src(in.src[1], 1);
         if (in.array == kSpillArray) {
             mem_.write_spill(tile, static_cast<int64_t>(in.imm), v);
         } else {
@@ -200,6 +228,7 @@ Simulator::step_proc(int tile, int64_t now)
         p.inject_pos = 0;
         stats_.dyn_messages++;
         p.waiting_dyn = true;
+        p.dyn_home = home;
         progress_ = true;
         account_proc(tile, now, ProcCycle::kMemWait);
         return;
@@ -210,7 +239,7 @@ Simulator::step_proc(int tile, int64_t now)
             return stall(wait_cat(in.src[0]));
         stats_.prints.push_back({in.print_seq,
                                  print_count_[in.print_seq]++,
-                                 in.type, read_src(in.src[0])});
+                                 in.type, read_src(in.src[0], 0)});
         done();
         return;
       }
@@ -250,14 +279,15 @@ Simulator::step_proc(int tile, int64_t now)
         if (in.dst == kPortOperand && !p2s_[tile].can_push(now))
             return stall(ProcCycle::kSendBlocked);
         uint32_t a =
-            op_num_srcs(in.op) > 0 ? read_src(in.src[0]) : 0;
+            op_num_srcs(in.op) > 0 ? read_src(in.src[0], 0) : 0;
         uint32_t b =
-            op_num_srcs(in.op) > 1 ? read_src(in.src[1]) : 0;
+            op_num_srcs(in.op) > 1 ? read_src(in.src[1], 1) : 0;
         uint32_t out = 0;
         check(eval_op(in.op, a, b, out),
               "processor: unexecutable opcode");
         if (in.dst == kPortOperand) {
             p2s_[tile].push(now, out);
+            sent();
         } else {
             p.regs[in.dst] = out;
             p.busy[in.dst] =

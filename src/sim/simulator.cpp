@@ -34,11 +34,24 @@ SimResult::print_text() const
     return os.str();
 }
 
-Simulator::Simulator(const CompiledProgram &prog, FaultConfig faults)
+Simulator::Simulator(const CompiledProgram &prog, FaultConfig faults,
+                     CheckConfig checks)
     : prog_(prog),
       mem_(prog.machine.n_tiles, prog.total_words, prog.spill_slots),
-      faults_(faults), rng_(faults.seed * 0x9E3779B97F4A7C15ULL + 1)
+      faults_(faults), rng_(faults.seed * 0x9E3779B97F4A7C15ULL + 1),
+      route_rng_((faults.seed ^ 0x526F757465ULL) *
+                     0x9E3779B97F4A7C15ULL +
+                 1),
+      dyn_rng_((faults.seed ^ 0x44796E4E6574ULL) *
+                   0x9E3779B97F4A7C15ULL +
+               1),
+      jitter_rng_((faults.seed ^ 0x4A697474ULL) *
+                      0x9E3779B97F4A7C15ULL +
+                  1)
 {
+    if (checks.enabled())
+        checker_ = std::make_unique<RuntimeChecker>(
+            prog.machine.n_tiles, checks);
     const int n = prog_.machine.n_tiles;
     check(static_cast<int>(prog_.tiles.size()) == n &&
               static_cast<int>(prog_.switches.size()) == n,
@@ -85,6 +98,7 @@ Simulator::Simulator(const CompiledProgram &prog, FaultConfig faults)
             prog_.switches[t].code.size(), 0);
     last_proc_cat_.assign(n, ProcCycle::kIdle);
     last_sw_cat_.assign(n, SwitchCycle::kIdle);
+    sw_stall_until_.assign(n, 0);
     dyn_listed_.assign(n, 0);
     for (int t = 0; t < n; t++) {
         if (!procs_[t].halted)
@@ -167,18 +181,64 @@ Simulator::in_link(int tile, Dir d)
     return links_[nb][static_cast<int>(opposite(d))];
 }
 
+namespace {
+
+/**
+ * One xorshift64* draw from channel stream @p s: @p extra cycles with
+ * probability @p rate, else 0.  Every fault channel uses this exact
+ * draw so the legacy memory-miss sequence (pinned by tests/goldens)
+ * is unchanged.
+ */
+inline int
+draw_fault(uint64_t &s, double rate, int extra)
+{
+    s ^= s >> 12;
+    s ^= s << 25;
+    s ^= s >> 27;
+    uint64_t r = s * 0x2545F4914F6CDD1DULL;
+    double u = static_cast<double>(r >> 11) / 9007199254740992.0;
+    return u < rate ? extra : 0;
+}
+
+} // namespace
+
 int
 Simulator::fault_extra()
 {
     if (faults_.miss_rate <= 0.0)
         return 0;
-    // xorshift64* deterministic stream.
-    rng_ ^= rng_ >> 12;
-    rng_ ^= rng_ << 25;
-    rng_ ^= rng_ >> 27;
-    uint64_t r = rng_ * 0x2545F4914F6CDD1DULL;
-    double u = static_cast<double>(r >> 11) / 9007199254740992.0;
-    return u < faults_.miss_rate ? faults_.penalty : 0;
+    return draw_fault(rng_, faults_.miss_rate, faults_.penalty);
+}
+
+int
+Simulator::dyn_delay_extra()
+{
+    if (faults_.dyn_delay_rate <= 0.0)
+        return 0;
+    return draw_fault(dyn_rng_, faults_.dyn_delay_rate,
+                      faults_.dyn_delay_cycles);
+}
+
+int
+Simulator::route_stall_extra()
+{
+    // Drawn only when a switch retires, so frozen cycles stay
+    // draw-free and the quiescence fast-forward remains sound.
+    if (faults_.route_stall_rate <= 0.0)
+        return 0;
+    return draw_fault(route_rng_, faults_.route_stall_rate,
+                      faults_.route_stall_cycles);
+}
+
+bool
+Simulator::jitter_hit()
+{
+    // Redrawn every cycle for every live processor; run() disables
+    // fast-forward and exact deadlock detection when this channel is
+    // on because a frozen cycle is no longer draw-free.
+    if (faults_.jitter_rate <= 0.0)
+        return false;
+    return draw_fault(jitter_rng_, faults_.jitter_rate, 1) != 0;
 }
 
 int64_t
@@ -207,8 +267,13 @@ Simulator::next_wake(int64_t now) const
     for (int t : active_dyn_) {
         const DynState &d = dyn_[t];
         if (d.outbox_pos >= d.outbox.size() && !d.inbox.empty())
-            consider(d.handler_free);
+            // A delayed message matures at its arrival time even when
+            // the handler is already free.
+            consider(std::max(d.handler_free, d.inbox.front().arrival));
     }
+    if (faults_.route_stall_rate > 0.0)
+        for (int t : active_sw_)
+            consider(sw_stall_until_[t]);
     return wake;
 }
 
@@ -238,14 +303,20 @@ Simulator::run(int64_t max_cycles)
     int64_t now = 0;
     int64_t last_progress = 0;
     // A global stall is only deadlock once every tile has had time to
-    // drain its worst-case memory latency; scale the window with the
-    // machine size and the injected fault penalty so large
+    // drain its worst-case injected latency; scale the window with
+    // the machine size and the worst enabled fault penalty so large
     // fault-injected runs are not misreported as deadlock.
+    int64_t worst_penalty = faults_.penalty;
+    if (faults_.route_stall_rate > 0.0)
+        worst_penalty = std::max<int64_t>(worst_penalty,
+                                          faults_.route_stall_cycles);
+    if (faults_.dyn_delay_rate > 0.0)
+        worst_penalty = std::max<int64_t>(worst_penalty,
+                                          faults_.dyn_delay_cycles);
     const int64_t stall_limit = std::max<int64_t>(
         100000,
         static_cast<int64_t>(n) *
-            (static_cast<int64_t>(faults_.penalty) +
-             prog_.machine.dyn_handler_cycles + 1) *
+            (worst_penalty + prog_.machine.dyn_handler_cycles + 1) *
             1024);
 
     if (stats_.profile.trace_enabled) {
@@ -302,32 +373,32 @@ Simulator::run(int64_t max_cycles)
         if (progress_) {
             last_progress = now;
         } else {
-            if (now - last_progress > stall_limit) {
-                std::ostringstream os;
-                os << "deadlock: no progress for " << stall_limit
-                   << " cycles at cycle " << now << "; ";
-                for (int t = 0; t < n; t++) {
-                    if (!procs_[t].halted)
-                        os << "proc" << t << "@pc" << procs_[t].pc
-                           << "("
-                           << proc_cycle_name(last_proc_cat_[t])
-                           << ") ";
-                    if (!switches_[t].halted)
-                        os << "sw" << t << "@pc" << switches_[t].pc
-                           << "("
-                           << switch_cycle_name(last_sw_cat_[t])
-                           << ") ";
-                }
-                throw DeadlockError(os.str());
-            }
-            // Quiescence fast-forward: with zero progress this cycle
-            // the machine state is frozen, so every cycle up to the
-            // earliest time-gated wake replays identically — jump
-            // there, batching the identical per-cycle accounting.
-            // Capped so the deadlock window above still fires at the
-            // exact cycle the unoptimized loop would have.
-            int64_t wake = next_wake(now);
-            if (wake != INT64_MAX) {
+            if (now - last_progress > stall_limit)
+                // Timeout backstop: covers stalls the exact detector
+                // cannot prove frozen (e.g. under clock jitter, which
+                // redraws each cycle).
+                report_deadlock(now, true, stall_limit);
+            // With clock jitter a stalled cycle still draws RNG, so
+            // the frozen-state reasoning below does not apply: a
+            // jitter-stalled processor may retry next cycle, and a
+            // skip would replay draws it never made.
+            if (faults_.jitter_rate <= 0.0) {
+                int64_t wake = next_wake(now);
+                if (wake == INT64_MAX)
+                    // Zero progress and nothing time-gated: the
+                    // machine state is a provable fixed point.  Every
+                    // transition needs a push/pop/retire (which would
+                    // have set progress_) or a timed deadline (which
+                    // next_wake covers), so this is certain deadlock —
+                    // diagnose it now instead of spinning to timeout.
+                    report_deadlock(now, false, stall_limit);
+                // Quiescence fast-forward: with zero progress this
+                // cycle the machine state is frozen, so every cycle
+                // up to the earliest time-gated wake replays
+                // identically — jump there, batching the identical
+                // per-cycle accounting.  Capped so the deadlock
+                // window above still fires at the exact cycle the
+                // unoptimized loop would have.
                 int64_t skip = wake - now - 1;
                 skip = std::min(skip,
                                 last_progress + stall_limit - now);
@@ -361,6 +432,11 @@ Simulator::run(int64_t max_cycles)
                       return a.occurrence < b.occurrence;
                   return a.seq < b.seq;
               });
+    if (checker_) {
+        stats_.check_failure_count = checker_->failure_count();
+        stats_.prov_hash = checker_->provenance_hash();
+        stats_.check_failures = checker_->take_failures();
+    }
     return stats_;
 }
 

@@ -19,11 +19,19 @@
  *    distance-proportional delivery latency plus serialized handler
  *    occupancy (a documented substitution — see DESIGN.md).
  *
- * A FaultConfig injects random extra memory latency to model dynamic
- * events (cache misses); by the static ordering property (Appendix A)
- * results must not change, which the test suite verifies.
+ * A FaultConfig injects random dynamic events over four independent
+ * channels (memory-miss latency, static-network route stalls,
+ * dynamic-network message delay, per-tile clock jitter); by the
+ * static ordering property (Appendix A) results must not change,
+ * which the test suite and the fault campaign
+ * (src/harness/campaign.hpp) verify.  An opt-in CheckConfig layers
+ * live self-checking on top (sim/checker.hpp).
  *
- * Global-stall detection reports deadlock instead of hanging.
+ * Deadlock is detected exactly: when the machine is frozen with no
+ * time-gated event pending it can never move again, and a
+ * wait-for-graph cycle over processors/switches/port FIFOs is
+ * reported (sim/deadlock.cpp).  A stall-count timeout remains as a
+ * backstop for perturbation channels that redraw every cycle.
  */
 
 #include <cstdint>
@@ -32,6 +40,9 @@
 #include <string>
 #include <vector>
 
+#include <memory>
+
+#include "sim/checker.hpp"
 #include "sim/isa.hpp"
 #include "sim/memory.hpp"
 #include "sim/profile.hpp"
@@ -114,6 +125,15 @@ class Fifo
         pushes_++;
     }
     bool empty() const { return size_ == 0; }
+    /** Current occupancy (checker cross-validation). */
+    int size() const { return size_; }
+    /** Ring invariants hold (occupancy and counters in bounds). */
+    bool audit_bounds() const
+    {
+        return size_ >= 0 && size_ <= cap_ && head_ >= 0 &&
+               head_ < cap_ && pushes_ >= 0 && pushes_ <= cap_ &&
+               pops_ >= 0 && pops_ <= cap_;
+    }
 
   private:
     int
@@ -146,15 +166,56 @@ class Fifo
     int pops_ = 0;
 };
 
-/** Dynamic-event (cache-miss) injection configuration. */
+/**
+ * Multi-channel dynamic-event injection configuration.
+ *
+ * Four independent fault channels, each driven by its own xorshift64*
+ * stream derived from @c seed, so enabling one channel never perturbs
+ * another channel's draw sequence and every campaign point is
+ * reproducible:
+ *  - memory-miss latency: a memory access takes @c penalty extra
+ *    cycles with probability @c miss_rate;
+ *  - static-network route stalls: after a switch retires, it is held
+ *    for @c route_stall_cycles of extra occupancy with probability
+ *    @c route_stall_rate (drawn once per retiring cycle, so the
+ *    quiescence fast-forward stays draw-free);
+ *  - dynamic-network delay: a delivered message (request or reply) is
+ *    held @c dyn_delay_cycles extra with probability
+ *    @c dyn_delay_rate;
+ *  - clock jitter: a tile processor skips its issue opportunity with
+ *    probability @c jitter_rate per cycle (models per-tile clock
+ *    skew).  Jitter redraws every cycle, so it disables the
+ *    quiescence fast-forward and the exact frozen-machine deadlock
+ *    detector; the stall-count timeout backstop still applies.
+ */
 struct FaultConfig
 {
     /** Probability a memory access takes extra latency. */
     double miss_rate = 0.0;
     /** Extra cycles per injected miss. */
     int penalty = 20;
-    /** RNG seed (deterministic per run). */
+    /** RNG seed (deterministic per run; salts all four streams). */
     uint64_t seed = 0;
+
+    /** Probability a retiring switch is held afterwards. */
+    double route_stall_rate = 0.0;
+    /** Extra switch occupancy per injected route stall. */
+    int route_stall_cycles = 3;
+    /** Probability a dynamic-network delivery is delayed. */
+    double dyn_delay_rate = 0.0;
+    /** Extra cycles per injected message delay. */
+    int dyn_delay_cycles = 8;
+    /** Probability per cycle a tile processor skips its cycle. */
+    double jitter_rate = 0.0;
+
+    /** Any channel beyond the legacy memory-miss one enabled? */
+    bool multi_channel() const
+    {
+        return route_stall_rate > 0.0 || dyn_delay_rate > 0.0 ||
+               jitter_rate > 0.0;
+    }
+    /** Any channel at all enabled? */
+    bool any() const { return miss_rate > 0.0 || multi_channel(); }
 };
 
 /** One kPrint record. */
@@ -180,6 +241,12 @@ struct SimResult
     std::vector<PrintRecord> prints; // sorted by seq
     /** Per-tile cycle attribution (see sim/profile.hpp). */
     SimProfile profile;
+    /** Self-check diagnostics (empty unless checkers enabled). */
+    std::vector<CheckFailure> check_failures;
+    /** Total self-check violations (may exceed recorded failures). */
+    int64_t check_failure_count = 0;
+    /** Provenance-stream hash (0 unless provenance checking on). */
+    uint64_t prov_hash = 0;
 
     /** Render the print trace, one value per line. */
     std::string print_text() const;
@@ -240,7 +307,8 @@ class Simulator
 {
   public:
     explicit Simulator(const CompiledProgram &prog,
-                       FaultConfig faults = {});
+                       FaultConfig faults = {},
+                       CheckConfig checks = {});
 
     /** Run to completion; throws DeadlockError on global stall. */
     SimResult run(int64_t max_cycles = 2000000000LL);
@@ -267,6 +335,8 @@ class Simulator
         int64_t pc = 0;
         bool halted = false;
         bool waiting_dyn = false;
+        /** Home tile of the outstanding dynamic request (-1 none). */
+        int dyn_home = -1;
         /** Request words still to inject into the request plane. */
         std::vector<uint32_t> inject;
         size_t inject_pos = 0;
@@ -317,6 +387,20 @@ class Simulator
 
     /** Extra latency injected for a memory access (0 if no fault). */
     int fault_extra();
+    /** Extra delay for a dynamic-network delivery (0 if no fault). */
+    int dyn_delay_extra();
+    /** Extra switch occupancy after a retire (0 if no fault). */
+    int route_stall_extra();
+    /** Does clock jitter cancel this tile-cycle (fresh draw)? */
+    bool jitter_hit();
+
+    /**
+     * Throw DeadlockError with a wait-for-graph diagnostic
+     * (sim/deadlock.cpp).  @p timeout distinguishes the stall-count
+     * backstop from the exact frozen-machine detection.
+     */
+    [[noreturn]] void report_deadlock(int64_t now, bool timeout,
+                                      int64_t stall_limit);
 
     /** Attribute this cycle of @p tile's processor to @p c. */
     void account_proc(int tile, int64_t now, ProcCycle c);
@@ -354,7 +438,17 @@ class Simulator
     const CompiledProgram &prog_;
     MemorySystem mem_;
     FaultConfig faults_;
+    /** Memory-miss channel stream (legacy; sequence is pinned by
+     *  tests/goldens, do not reorder its draws). */
     uint64_t rng_;
+    // Independent streams for the newer fault channels.
+    uint64_t route_rng_;
+    uint64_t dyn_rng_;
+    uint64_t jitter_rng_;
+    /** Injected route stall active until this cycle, per switch. */
+    std::vector<int64_t> sw_stall_until_;
+    /** Live self-checker; null unless CheckConfig enables one. */
+    std::unique_ptr<RuntimeChecker> checker_;
 
     std::vector<Proc> procs_;
     std::vector<Sw> switches_;

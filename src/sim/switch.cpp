@@ -24,6 +24,14 @@ Simulator::step_switch(int tile, int64_t now)
         account_switch(tile, now, SwitchCycle::kIdle);
         return;
     }
+    // Route-stall channel: extra occupancy injected after the last
+    // retire holds the switch (time-gated; next_wake() covers it).
+    if (faults_.route_stall_rate > 0.0 &&
+        sw_stall_until_[tile] > now) {
+        stats_.profile.tiles[tile].route_stalls[sw.pc]++;
+        account_switch(tile, now, SwitchCycle::kOutputBlocked);
+        return;
+    }
     const std::vector<SInstr> &code = prog_.switches[tile].code;
     SInstr::K first = code[sw.pc].k;
     int64_t pc0 = sw.pc;
@@ -42,6 +50,10 @@ Simulator::step_switch(int tile, int64_t now)
         sw.pc < static_cast<int64_t>(code.size()) &&
         dual_issue_pair(first, code[sw.pc].k))
         exec_switch_instr(tile, now);
+    // One draw per retiring cycle; frozen cycles never draw.
+    int extra = route_stall_extra();
+    if (extra > 0)
+        sw_stall_until_[tile] = now + 1 + extra;
 }
 
 Simulator::SwExec
@@ -71,10 +83,26 @@ Simulator::exec_switch_instr(int tile, int64_t now)
                     return SwExec::kOutputBlocked;
             }
         }
+        int pair = 0;
         for (const RoutePair &r : in.routes) {
             Fifo &src = r.in == Dir::kProc ? p2s_[tile]
                                            : in_link(tile, r.in);
             uint32_t v = src.pop(now);
+            WordProv o{};
+            if (checker_) {
+                // The shadow of in_link(tile, d) is keyed by its
+                // owning tile: links_[nb][opposite(d)].
+                if (r.in == Dir::kProc) {
+                    o = checker_->take_p2s(tile, p2s_[tile], now);
+                } else {
+                    int nb = prog_.machine.neighbor(tile, r.in);
+                    o = checker_->take_link(
+                        nb, static_cast<int>(opposite(r.in)),
+                        in_link(tile, r.in), now);
+                }
+                checker_->consume_switch(tile, sw.pc, pair, o, v,
+                                         now);
+            }
             for (int d = 0; d < kNumDirs; d++) {
                 if (!(r.out_mask & (1u << d)))
                     continue;
@@ -82,11 +110,19 @@ Simulator::exec_switch_instr(int tile, int64_t now)
                 Fifo &dst = dir == Dir::kProc ? s2p_[tile]
                                               : out_link(tile, dir);
                 dst.push(now, v);
+                if (checker_) {
+                    if (dir == Dir::kProc)
+                        checker_->put_s2p(tile, o, s2p_[tile], now);
+                    else
+                        checker_->put_link(tile, d, o,
+                                           out_link(tile, dir), now);
+                }
                 stats_.words_routed++;
                 stats_.profile.tiles[tile].words_routed++;
             }
             if (r.reg_dst >= 0)
                 sw.regs[r.reg_dst] = v;
+            pair++;
         }
         sw.pc++;
         stats_.switch_instrs_executed++;

@@ -41,6 +41,7 @@ const GoldenPoint kPoints[] = {
     {"mxm", 1, {}},       {"mxm", 4, {}},       {"mxm", 16, {}},
     {"jacobi", 1, {}},    {"jacobi", 4, {}},    {"jacobi", 16, {}},
     {"jacobi", 4, {0.01, 20, 42}},
+    {"jacobi", 4, {0.02, 9, 7, 0.05, 3, 0.05, 6, 0.02}},
 };
 
 std::string
@@ -48,7 +49,9 @@ point_name(const GoldenPoint &p)
 {
     std::string name =
         std::string(p.bench) + "_n" + std::to_string(p.tiles);
-    if (p.faults.miss_rate > 0)
+    if (p.faults.multi_channel())
+        name += "_mfault";
+    else if (p.faults.miss_rate > 0)
         name += "_fault";
     return name;
 }

@@ -7,7 +7,9 @@
 #include <gtest/gtest.h>
 
 #include "harness/harness.hpp"
+#include "harness/parallel.hpp"
 #include "programs/fpppp_gen.hpp"
+#include "support/error.hpp"
 
 namespace raw {
 namespace {
@@ -105,6 +107,63 @@ TEST(Harness, FloatPrintsRenderConsistently)
     RunResult base = run_baseline(src);
     RunResult par = run_rawcc(src, MachineConfig::base(2));
     EXPECT_EQ(base.prints, par.prints);
+}
+
+TEST(Parallel, CollectIsolatesFailingSlot)
+{
+    // A job that throws fails only its own slot; every sibling still
+    // runs to completion and the pool joins cleanly.
+    std::vector<int> ran(4, 0);
+    std::vector<std::string> errs =
+        run_parallel_collect(4, 2, [&](int i) {
+            if (i == 1)
+                throw FatalError("slot one exploded");
+            ran[i] = 1;
+        });
+    ASSERT_EQ(errs.size(), 4u);
+    EXPECT_NE(errs[1].find("slot one exploded"), std::string::npos);
+    for (int i : {0, 2, 3}) {
+        EXPECT_TRUE(errs[i].empty()) << "slot " << i;
+        EXPECT_EQ(ran[i], 1) << "slot " << i;
+    }
+}
+
+TEST(Parallel, CollectHandlesPanicAndInlinePath)
+{
+    // Inline path (n_threads = 1) gets the same per-slot capture:
+    // later jobs still run after an earlier one throws.
+    std::vector<int> ran(3, 0);
+    std::vector<std::string> errs =
+        run_parallel_collect(3, 1, [&](int i) {
+            if (i == 0)
+                panic("first job panicked");
+            ran[i] = 1;
+        });
+    EXPECT_FALSE(errs[0].empty());
+    EXPECT_TRUE(errs[1].empty());
+    EXPECT_TRUE(errs[2].empty());
+    EXPECT_EQ(ran[1], 1);
+    EXPECT_EQ(ran[2], 1);
+}
+
+TEST(Parallel, RunParallelRethrowsFirstByIndex)
+{
+    std::vector<int> ran(4, 0);
+    try {
+        run_parallel(4, 2, [&](int i) {
+            if (i == 2)
+                throw FatalError("job two failed");
+            ran[i] = 1;
+        });
+        FAIL() << "expected FatalError";
+    } catch (const FatalError &e) {
+        EXPECT_NE(std::string(e.what()).find("job two failed"),
+                  std::string::npos);
+    }
+    // Siblings completed before the rethrow.
+    EXPECT_EQ(ran[0], 1);
+    EXPECT_EQ(ran[1], 1);
+    EXPECT_EQ(ran[3], 1);
 }
 
 } // namespace

@@ -40,6 +40,9 @@ const GoldenPoint kPoints[] = {
     // One fault-injected point so the quiescence fast-forward is
     // pinned under random extra memory latency too.
     {"jacobi", 4, {0.01, 20, 42}},
+    // All four fault channels at once (miss + route stalls + dyn
+    // delay + jitter), pinning the multi-channel RNG streams.
+    {"jacobi", 4, {0.02, 9, 7, 0.05, 3, 0.05, 6, 0.02}},
 };
 
 std::string
@@ -47,7 +50,9 @@ point_filename(const GoldenPoint &p)
 {
     std::string name = std::string(p.bench) + "_n" +
                        std::to_string(p.tiles);
-    if (p.faults.miss_rate > 0)
+    if (p.faults.multi_channel())
+        name += "_mfault";
+    else if (p.faults.miss_rate > 0)
         name += "_fault";
     return name + ".golden";
 }

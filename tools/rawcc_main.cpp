@@ -19,6 +19,17 @@
  *   --miss-rate R      inject cache misses with probability R (0..1)
  *   --miss-penalty P   extra cycles per miss (default 20)
  *   --seed S           fault-injection seed
+ *   --route-stall-rate R    hold a retiring switch with prob. R
+ *   --route-stall-cycles P  extra switch occupancy per hold
+ *   --dyn-delay-rate R      delay a dynamic message with prob. R
+ *   --dyn-delay-cycles P    extra cycles per delayed message
+ *   --jitter-rate R         a tile loses its cycle with prob. R
+ *   --check            enable runtime self-checks (provenance + FIFO
+ *                      bounds); failures are reported and exit 1
+ *   --fault-campaign N sweep N fault points (seeds x channels x
+ *                      intensities) and verify bit-identical results
+ *   --campaign-out F   campaign JSON report path
+ *   --jobs N           campaign worker threads (0 = all cores)
  *   --no-unroll        disable affine staticization (ablation)
  *   --no-replication   broadcast every branch (ablation)
  *   --no-port-fold     keep explicit send/receive instructions
@@ -37,7 +48,9 @@
 #include <sstream>
 #include <string>
 
+#include "harness/campaign.hpp"
 #include "harness/harness.hpp"
+#include "harness/parallel.hpp"
 #include "ir/printer.hpp"
 #include "sim/disasm.hpp"
 #include "sim/profile.hpp"
@@ -54,6 +67,9 @@ usage()
         "  --dump-ir --disasm --stats --no-run --speedup\n"
         "  --profile --trace-out FILE\n"
         "  --miss-rate R --miss-penalty P --seed S\n"
+        "  --route-stall-rate R --route-stall-cycles P\n"
+        "  --dyn-delay-rate R --dyn-delay-cycles P --jitter-rate R\n"
+        "  --check --fault-campaign N --campaign-out FILE --jobs N\n"
         "  --no-unroll --no-replication --no-port-fold\n"
         "  --list-benchmarks\n");
 }
@@ -131,6 +147,10 @@ main(int argc, char **argv)
     bool profile = false;
     CompilerOptions opts;
     FaultConfig faults;
+    CheckConfig checks;
+    long fault_campaign = 0;
+    long jobs = 0;
+    std::string campaign_out;
 
     for (int i = 1; i < argc; i++) {
         std::string a = argv[i];
@@ -143,6 +163,21 @@ main(int argc, char **argv)
                 std::exit(2);
             }
             return argv[++i];
+        };
+        // NaN-proof: !(v in [0,1]) rejects NaN, which every
+        // comparison-based range check silently accepts.
+        auto parse_rate = [&](const char *flag) {
+            double v = parse_double(next(), flag);
+            if (!(v >= 0.0 && v <= 1.0))
+                bad_value(flag, argv[i], "a probability in [0,1]");
+            return v;
+        };
+        auto parse_cycles = [&](const char *flag) {
+            long p = parse_long(next(), flag);
+            if (p < 0 || p > 1000000)
+                bad_value(flag, argv[i],
+                          "a cycle count in 0..1000000");
+            return static_cast<int>(p);
         };
         if (a == "--tiles") {
             tiles = parse_long(next(), "--tiles");
@@ -167,20 +202,40 @@ main(int argc, char **argv)
             profile = true;
         else if (a == "--trace-out")
             trace_out = next();
-        else if (a == "--miss-rate") {
-            faults.miss_rate = parse_double(next(), "--miss-rate");
-            if (faults.miss_rate < 0.0 || faults.miss_rate > 1.0)
-                bad_value("--miss-rate", argv[i],
-                          "a probability in [0,1]");
-        } else if (a == "--miss-penalty") {
-            long p = parse_long(next(), "--miss-penalty");
-            if (p < 0 || p > 1000000)
-                bad_value("--miss-penalty", argv[i],
-                          "a cycle count in 0..1000000");
-            faults.penalty = static_cast<int>(p);
-        } else if (a == "--seed")
+        else if (a == "--miss-rate")
+            faults.miss_rate = parse_rate("--miss-rate");
+        else if (a == "--miss-penalty")
+            faults.penalty = parse_cycles("--miss-penalty");
+        else if (a == "--seed")
             faults.seed = parse_u64(next(), "--seed");
-        else if (a == "--no-unroll")
+        else if (a == "--route-stall-rate")
+            faults.route_stall_rate = parse_rate("--route-stall-rate");
+        else if (a == "--route-stall-cycles")
+            faults.route_stall_cycles =
+                parse_cycles("--route-stall-cycles");
+        else if (a == "--dyn-delay-rate")
+            faults.dyn_delay_rate = parse_rate("--dyn-delay-rate");
+        else if (a == "--dyn-delay-cycles")
+            faults.dyn_delay_cycles =
+                parse_cycles("--dyn-delay-cycles");
+        else if (a == "--jitter-rate")
+            faults.jitter_rate = parse_rate("--jitter-rate");
+        else if (a == "--check") {
+            checks.provenance = true;
+            checks.fifo_bounds = true;
+        } else if (a == "--fault-campaign") {
+            fault_campaign = parse_long(next(), "--fault-campaign");
+            if (fault_campaign <= 0 || fault_campaign > 100000)
+                bad_value("--fault-campaign", argv[i],
+                          "a point count in 1..100000");
+        } else if (a == "--campaign-out")
+            campaign_out = next();
+        else if (a == "--jobs") {
+            jobs = parse_long(next(), "--jobs");
+            if (jobs < 0 || jobs > 4096)
+                bad_value("--jobs", argv[i],
+                          "a worker count in 0..4096");
+        } else if (a == "--no-unroll")
             opts.unroll.enable = false;
         else if (a == "--no-replication")
             opts.orch.enable_replication = false;
@@ -219,6 +274,27 @@ main(int argc, char **argv)
             machine = MachineConfig::one_cycle(n_tiles);
         else
             fatal("unknown config: " + config);
+
+        if (fault_campaign > 0) {
+            // Campaign mode: the input must name a built-in
+            // benchmark; benchmark() rejects anything else.
+            CampaignReport rep = run_fault_campaign(
+                input, machine, static_cast<int>(fault_campaign),
+                faults.seed, static_cast<int>(jobs), opts);
+            std::printf("%s\n", rep.summary().c_str());
+            std::string path =
+                campaign_out.empty()
+                    ? "campaign_" + input + "_n" +
+                          std::to_string(n_tiles) + ".json"
+                    : campaign_out;
+            std::ofstream js(path);
+            if (!js)
+                fatal("cannot write campaign report: " + path);
+            js << rep.to_json();
+            std::printf("campaign report written to %s\n",
+                        path.c_str());
+            return rep.clean() ? 0 : 1;
+        }
 
         CompileOutput out =
             baseline ? compile_baseline_for(
@@ -267,7 +343,7 @@ main(int argc, char **argv)
         if (!do_run)
             return 0;
 
-        Simulator sim(out.program, faults);
+        Simulator sim(out.program, faults, checks);
         if (!trace_out.empty())
             sim.set_trace_enabled(true);
         SimResult r = sim.run();
@@ -278,6 +354,19 @@ main(int argc, char **argv)
                     static_cast<long long>(r.instrs_executed),
                     static_cast<long long>(r.words_routed),
                     static_cast<long long>(r.dyn_messages));
+        if (checks.enabled()) {
+            std::printf("[self-check: %lld failure(s), provenance "
+                        "hash 0x%llx]\n",
+                        static_cast<long long>(
+                            r.check_failure_count),
+                        static_cast<unsigned long long>(
+                            r.prov_hash));
+            for (const CheckFailure &f : r.check_failures)
+                std::fprintf(stderr, "rawcc: self-check: %s\n",
+                             f.to_string().c_str());
+            if (r.check_failure_count > 0)
+                return 1;
+        }
 
         if (profile)
             std::fputs(
