@@ -38,6 +38,20 @@ RunResult run_rawcc(const std::string &source,
                     const FaultConfig &faults = {},
                     const CheckConfig &checks = {});
 
+/**
+ * Profile-guided run: like run_rawcc with opts.pgo, but the
+ * first-pass placement feedback (and whether it actually helped) is
+ * cached per (program, machine, scheduler flags) — a sweep repeating
+ * the same configuration pays the extra profiling compile+simulate
+ * once, mirroring cached_baseline.  Thread-safe.
+ */
+RunResult run_rawcc_pgo(const std::string &source,
+                        const MachineConfig &machine,
+                        const std::string &check_array = "",
+                        const CompilerOptions &opts = {},
+                        const FaultConfig &faults = {},
+                        const CheckConfig &checks = {});
+
 /** Compile sequentially (one tile) and simulate. */
 RunResult run_baseline(const std::string &source,
                        const std::string &check_array = "",

@@ -42,6 +42,35 @@ enum class PlaceMode : uint8_t {
     kArbitrary,  ///< identity mapping, no optimization
 };
 
+/** Distance scale of the feedback-aware placement cost (one hop). */
+constexpr int64_t kPlaceDistUnit = 8;
+/** Largest per-tile penalty: one fully-contended tile ~ one hop. */
+constexpr int64_t kPlacePenaltyMax = 8;
+
+/**
+ * Per-tile congestion penalties observed in a profiling run
+ * (profile-guided placement, --pgo).  Empty vectors mean "no
+ * feedback", and placement then uses the pure hop-distance cost,
+ * bit-identical to a build without PGO.  With feedback, each word
+ * touching tile t pays comm_penalty[t] on top of kPlaceDistUnit per
+ * hop, and each unit of compute placed on t pays proc_penalty[t] —
+ * both normalized to 0..kPlacePenaltyMax — so movable partitions
+ * drift away from the switches and processors the profiled run
+ * actually saturated (typically regions around pinned memory homes).
+ */
+struct PlacementFeedback
+{
+    /** Per-tile switch-congestion penalty (empty = none). */
+    std::vector<int64_t> comm_penalty;
+    /** Per-tile processor-occupancy penalty (empty = none). */
+    std::vector<int64_t> proc_penalty;
+
+    bool empty() const
+    {
+        return comm_penalty.empty() && proc_penalty.empty();
+    }
+};
+
 /** Options for the partitioner. */
 struct PartitionOptions
 {
@@ -49,6 +78,18 @@ struct PartitionOptions
     PlaceMode place_mode = PlaceMode::kGreedySwap;
     /** RNG seed for annealing / tie-breaking. */
     uint32_t seed = 1;
+    /** Profiled congestion penalties (PGO); empty = distance only. */
+    PlacementFeedback feedback;
+    /**
+     * Criticality-weighted placement traffic (PGO): weight each
+     * cross-partition edge by how close it sits to the task graph's
+     * critical path, so placement shortens the hops that actually
+     * gate the schedule instead of treating every word equally.  An
+     * edge with zero slack counts (1 + crit_weight) times; an edge
+     * with maximal slack counts once.  0 (default) keeps the
+     * seed's uniform word counts bit-identical.
+     */
+    int crit_weight = 0;
 };
 
 /** Intermediate result of the clustering phase. */

@@ -27,6 +27,91 @@ traffic_matrix(const TaskGraph &g, const Clustering &merged, int n_tiles)
     return w;
 }
 
+/**
+ * Per-edge slack under an idealized uniform-latency interconnect:
+ * span minus the longest path through the edge.  Zero for edges on
+ * the critical path.
+ */
+std::vector<int64_t>
+edge_slack(const TaskGraph &g, int64_t &span_out)
+{
+    const int n = static_cast<int>(g.nodes().size());
+    constexpr int64_t kComm = 2; // idealized cross-partition latency
+
+    // Topological order via repeated ready-set sweeps.
+    std::vector<int> indeg(n, 0), order;
+    order.reserve(n);
+    for (int v = 0; v < n; v++)
+        indeg[v] = static_cast<int>(g.preds(v).size());
+    std::vector<int> q;
+    for (int v = 0; v < n; v++)
+        if (indeg[v] == 0)
+            q.push_back(v);
+    while (!q.empty()) {
+        int v = q.back();
+        q.pop_back();
+        order.push_back(v);
+        for (int s : g.succs(v))
+            if (--indeg[s] == 0)
+                q.push_back(s);
+    }
+
+    std::vector<int64_t> level(n, 0), est(n, 0);
+    for (int k = static_cast<int>(order.size()); k-- > 0;) {
+        int v = order[k];
+        int64_t lvl = 0;
+        for (int s : g.succs(v))
+            lvl = std::max(lvl, kComm + level[s]);
+        level[v] = g.nodes()[v].cost + lvl;
+    }
+    for (int v : order)
+        for (int s : g.succs(v))
+            est[s] = std::max(est[s],
+                              est[v] + g.nodes()[v].cost + kComm);
+    int64_t span = 0;
+    for (int v = 0; v < n; v++)
+        span = std::max(span, est[v] + level[v]);
+    span_out = span;
+
+    std::vector<int64_t> slack(g.edges().size(), 0);
+    for (size_t e = 0; e < g.edges().size(); e++) {
+        const TGEdge &edge = g.edges()[e];
+        int64_t through = est[edge.from] +
+                          g.nodes()[edge.from].cost + kComm +
+                          level[edge.to];
+        slack[e] = std::max<int64_t>(0, span - through);
+    }
+    return slack;
+}
+
+/**
+ * Criticality-weighted traffic: each cross-partition edge counts
+ * 1 + crit_weight * (span - slack) / span words, so tight edges pull
+ * their endpoint partitions together harder than slack ones.
+ */
+std::vector<std::vector<int>>
+critical_traffic_matrix(const TaskGraph &g, const Clustering &merged,
+                        int n_tiles, int crit_weight)
+{
+    int64_t span = 0;
+    std::vector<int64_t> slack = edge_slack(g, span);
+    std::vector<std::vector<int>> w(n_tiles,
+                                    std::vector<int>(n_tiles, 0));
+    for (size_t e = 0; e < g.edges().size(); e++) {
+        const TGEdge &edge = g.edges()[e];
+        int a = merged.cluster_of[edge.from];
+        int b = merged.cluster_of[edge.to];
+        if (a == b)
+            continue;
+        int64_t bonus =
+            span > 0 ? (crit_weight * (span - slack[e])) / span : 0;
+        int wt = 1 + static_cast<int>(bonus);
+        w[a][b] += wt;
+        w[b][a] += wt;
+    }
+    return w;
+}
+
 } // namespace
 
 int64_t
@@ -101,7 +186,50 @@ place_partitions(const TaskGraph &g, const Clustering &merged,
     }
 
     std::vector<std::vector<int>> w =
-        traffic_matrix(g, merged, n_tiles);
+        opts.crit_weight > 0
+            ? critical_traffic_matrix(g, merged, n_tiles,
+                                      opts.crit_weight)
+            : traffic_matrix(g, merged, n_tiles);
+
+    // Profile-guided placement: fold per-tile congestion penalties
+    // into the cost model.  Without feedback the original pure-
+    // distance functions run unchanged (identical costs, identical
+    // anneal accept stream), so a non-PGO build is bit-identical.
+    const PlacementFeedback &fb = opts.feedback;
+    const bool use_fb = !fb.empty();
+    auto pen_c = [&](int t) -> int64_t {
+        return t < static_cast<int>(fb.comm_penalty.size())
+                   ? fb.comm_penalty[t]
+                   : 0;
+    };
+    auto pen_p = [&](int t) -> int64_t {
+        return t < static_cast<int>(fb.proc_penalty.size())
+                   ? fb.proc_penalty[t]
+                   : 0;
+    };
+    // Pre-scaled per-partition compute weight keeps the swap delta
+    // linear (integer division inside the delta would not be).
+    std::vector<int64_t> comp(n_tiles, 0);
+    if (use_fb)
+        for (int p = 0; p < n_tiles; p++)
+            comp[p] = merged.cost_of[p] / kPlacePenaltyMax;
+
+    auto fb_cost = [&]() {
+        int64_t cost = 0;
+        for (int a = 0; a < n_tiles; a++) {
+            const int ta = tile_of_partition[a];
+            for (int b = a + 1; b < n_tiles; b++) {
+                const int tb = tile_of_partition[b];
+                if (w[a][b])
+                    cost += static_cast<int64_t>(w[a][b]) *
+                            (kPlaceDistUnit *
+                                 machine.distance(ta, tb) +
+                             pen_c(ta) + pen_c(tb));
+            }
+            cost += comp[a] * pen_p(ta);
+        }
+        return cost;
+    };
 
     int64_t swaps_evaluated = 0;
     // Candidate swaps are evaluated by the O(n) delta, not the O(n²)
@@ -112,12 +240,32 @@ place_partitions(const TaskGraph &g, const Clustering &merged,
         swaps_evaluated++;
         int64_t d = placement_swap_delta(w, tile_of_partition,
                                          machine, pi, pj);
+        if (use_fb) {
+            // Penalty terms of the swap, still O(n): the (pi,pj)
+            // pair's penalty sum is symmetric and cancels, every
+            // other pair swaps one endpoint's penalty.
+            const int ti = tile_of_partition[pi];
+            const int tj = tile_of_partition[pj];
+            int64_t wi = 0, wj = 0;
+            for (int k = 0; k < n_tiles; k++) {
+                if (k == pi || k == pj)
+                    continue;
+                wi += w[pi][k];
+                wj += w[pj][k];
+            }
+            d = kPlaceDistUnit * d +
+                (pen_c(tj) - pen_c(ti)) * (wi - wj) +
+                (pen_p(tj) - pen_p(ti)) * (comp[pi] - comp[pj]);
+        }
 #ifndef NDEBUG
-        int64_t pre = placement_assignment_cost(w, tile_of_partition,
-                                                machine);
+        auto full = [&]() {
+            return use_fb ? fb_cost()
+                          : placement_assignment_cost(
+                                w, tile_of_partition, machine);
+        };
+        int64_t pre = full();
         std::swap(tile_of_partition[pi], tile_of_partition[pj]);
-        int64_t post = placement_assignment_cost(w, tile_of_partition,
-                                                 machine);
+        int64_t post = full();
         std::swap(tile_of_partition[pi], tile_of_partition[pj]);
         check(post - pre == d,
               "placement: swap delta disagrees with full recompute");
@@ -128,7 +276,9 @@ place_partitions(const TaskGraph &g, const Clustering &merged,
     if (opts.place_mode != PlaceMode::kArbitrary &&
         movable.size() > 1) {
         int64_t cur =
-            placement_assignment_cost(w, tile_of_partition, machine);
+            use_fb ? fb_cost()
+                   : placement_assignment_cost(w, tile_of_partition,
+                                               machine);
         if (opts.place_mode == PlaceMode::kGreedySwap) {
             bool improved = true;
             while (improved) {
@@ -150,7 +300,10 @@ place_partitions(const TaskGraph &g, const Clustering &merged,
             std::uniform_int_distribution<int> pick(
                 0, static_cast<int>(movable.size()) - 1);
             std::uniform_real_distribution<double> unit(0.0, 1.0);
-            double temp = 8.0;
+            // Feedback-mode costs carry the kPlaceDistUnit scale, so
+            // the start temperature scales with them to keep the
+            // accept probabilities comparable.
+            double temp = use_fb ? 8.0 * kPlaceDistUnit : 8.0;
             std::vector<int> best = tile_of_partition;
             int64_t best_cost = cur;
             for (int iter = 0; iter < 4000; iter++) {

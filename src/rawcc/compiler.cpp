@@ -1,5 +1,6 @@
 #include "rawcc/compiler.hpp"
 
+#include <algorithm>
 #include <chrono>
 #include <numeric>
 
@@ -7,6 +8,7 @@
 #include "frontend/parser.hpp"
 #include "ir/verifier.hpp"
 #include "rawcc/portfold.hpp"
+#include "sim/simulator.hpp"
 #include "transform/constfold.hpp"
 #include "transform/rename.hpp"
 #include "transform/simplify.hpp"
@@ -32,6 +34,100 @@ lap_ms(Clock::time_point &t0)
 
 } // namespace
 
+PlacementFeedback
+placement_feedback_from_profile(const SimResult &sim,
+                                const MachineConfig &machine)
+{
+    PlacementFeedback fb;
+    const auto &tiles = sim.profile.tiles;
+    if (static_cast<int>(tiles.size()) != machine.n_tiles)
+        return fb;
+
+    std::vector<int64_t> comm(machine.n_tiles, 0);
+    std::vector<int64_t> proc(machine.n_tiles, 0);
+    for (int t = 0; t < machine.n_tiles; t++) {
+        const TileProfile &tp = tiles[t];
+        int64_t stalls = std::accumulate(tp.route_stalls.begin(),
+                                         tp.route_stalls.end(),
+                                         int64_t{0});
+        comm[t] = tp.words_routed + stalls;
+        proc[t] =
+            tp.proc_cycles[static_cast<int>(ProcCycle::kIssued)] +
+            tp.proc_cycles[static_cast<int>(
+                ProcCycle::kSendBlocked)] +
+            tp.proc_cycles[static_cast<int>(ProcCycle::kRecvBlocked)];
+    }
+
+    auto normalize = [](std::vector<int64_t> &v) {
+        int64_t mx = *std::max_element(v.begin(), v.end());
+        if (mx <= 0) {
+            v.clear();
+            return;
+        }
+        for (int64_t &x : v)
+            x = (x * kPlacePenaltyMax + mx / 2) / mx;
+    };
+    normalize(comm);
+    normalize(proc);
+    fb.comm_penalty = std::move(comm);
+    fb.proc_penalty = std::move(proc);
+    return fb;
+}
+
+std::vector<CompilerOptions>
+pgo_candidates(const CompilerOptions &base, const PlacementFeedback &fb)
+{
+    CompilerOptions plain = base;
+    plain.pgo = false;
+    std::vector<CompilerOptions> cands;
+    cands.push_back(plain);
+    if (!fb.empty()) {
+        CompilerOptions c = plain;
+        c.orch.partition.feedback = fb;
+        cands.push_back(c);
+    }
+    {
+        CompilerOptions c = plain;
+        c.orch.partition.crit_weight = 8;
+        cands.push_back(c);
+        if (!fb.empty()) {
+            c.orch.partition.feedback = fb;
+            cands.push_back(c);
+        }
+    }
+    // Alternative priority weightings: block makespans usually tie,
+    // but the resulting issue orders measure differently; the
+    // simulated pick keeps whichever order the machine favors.
+    for (auto [lw, fw] : {std::pair<int, int>{4, 1},
+                          {16, 4},
+                          {16, 0},
+                          {2, 1}}) {
+        CompilerOptions c = plain;
+        c.orch.sched.level_weight = lw;
+        c.orch.sched.fertility_weight = fw;
+        cands.push_back(c);
+    }
+    // Usage-voted data homes (the paper's stated future work for the
+    // round-robin policy).
+    {
+        CompilerOptions c = plain;
+        c.smart_homes = true;
+        cands.push_back(c);
+    }
+    // More aggressive loop peeling: staticizes more references at
+    // the cost of code size.  This often wins big (whole loop nests
+    // become static) but can also lose (replicated work outgrows the
+    // tile count), so it only ever enters the program through the
+    // measured pick.
+    if (plain.unroll.enable) {
+        CompilerOptions c = plain;
+        c.unroll.small_peel_limit *= 4;
+        c.unroll.forced_peel_limit *= 4;
+        cands.push_back(c);
+    }
+    return cands;
+}
+
 int64_t
 CompileStats::estimated_makespan() const
 {
@@ -44,6 +140,7 @@ compile_function(Function fn, const MachineConfig &machine,
                  const CompilerOptions &opts)
 {
     machine.validate();
+
     CompileOutput out;
     Clock::time_point t0 = Clock::now();
 
@@ -112,6 +209,42 @@ compile_source(const std::string &source, const MachineConfig &machine,
                const CompilerOptions &opts)
 {
     machine.validate();
+
+    if (opts.pgo && opts.orch.partition.feedback.empty()) {
+        // Profile-guided pass: a first full compile+simulate
+        // measures where cycles actually went, then each candidate
+        // variant (congestion-feedback placement, criticality-
+        // weighted traffic, alternative priorities, voted homes,
+        // peeling aggressiveness) is compiled and simulated
+        // fault-free, and the fastest measured program wins.
+        // Candidate 0 is the plain compile, so --pgo can never lose
+        // cycles; all candidates run with pgo cleared, keeping this
+        // recursion one level deep.  The portfolio lives here rather
+        // than in compile_function because unrolling variants act
+        // before lowering.
+        CompilerOptions probe_opts = opts;
+        probe_opts.pgo = false;
+        CompileOutput best =
+            compile_source(source, machine, probe_opts);
+        Simulator sim(best.program);
+        SimResult measured = sim.run();
+        int64_t best_cycles = measured.cycles;
+        PlacementFeedback fb =
+            placement_feedback_from_profile(measured, machine);
+        std::vector<CompilerOptions> cands = pgo_candidates(opts, fb);
+        for (size_t c = 1; c < cands.size(); c++) {
+            CompileOutput cand =
+                compile_source(source, machine, cands[c]);
+            Simulator csim(cand.program);
+            int64_t cycles = csim.run().cycles;
+            if (cycles < best_cycles) {
+                best_cycles = cycles;
+                best = std::move(cand);
+            }
+        }
+        return best;
+    }
+
     Clock::time_point t0 = Clock::now();
     Program ast = parse_program(source);
     double parse_ms = lap_ms(t0);

@@ -47,6 +47,21 @@ struct CompilerOptions
      * scalar homed on its most-voted tile.
      */
     bool smart_homes = false;
+    /**
+     * Profile-guided optimization (--pgo): compile, simulate the
+     * result fault-free once, then race a small portfolio of
+     * semantically equivalent compile variants (pgo_candidates():
+     * congestion-feedback placement folding the measured per-tile
+     * occupancy into the cost model, criticality-weighted traffic,
+     * alternative scheduler priorities, usage-voted homes, peeling
+     * aggressiveness) and keep the fastest measured program.  The
+     * plain compile is always candidate 0, so this never loses
+     * cycles.  Acts in compile_source (unroll variants precede
+     * lowering); ignored when orch.partition.feedback is already
+     * populated (the harness's cached-profile path sets it
+     * directly).
+     */
+    bool pgo = false;
 };
 
 /** Wall-clock timing of each compile stage (milliseconds). */
@@ -93,6 +108,31 @@ struct CompileOutput
     /** Final IR (post-unroll/rename), useful for dumps and tests. */
     Function fn;
 };
+
+struct SimResult;
+
+/**
+ * Fold a profiled run into per-tile placement penalties: switch load
+ * (words routed plus ROUTE stall cycles) and processor occupancy
+ * (issue plus send/receive-blocked cycles), each normalized to
+ * 0..kPlacePenaltyMax.  Returns an empty feedback (no-op) when the
+ * profile is missing or degenerate.
+ */
+PlacementFeedback placement_feedback_from_profile(
+    const SimResult &sim, const MachineConfig &machine);
+
+/**
+ * The candidate variants a PGO pass explores, all semantically
+ * equivalent compiles of the same program: the options as given,
+ * congestion-feedback placement (@p fb from the first pass),
+ * criticality-weighted placement traffic, a small set of alternative
+ * scheduler priority weightings, usage-voted data homes, and a more
+ * aggressive peeling limit.  Candidate 0 is always @p base
+ * unchanged, so a measured best-of pick can never lose to the plain
+ * compile.  Every candidate has pgo cleared.
+ */
+std::vector<CompilerOptions> pgo_candidates(
+    const CompilerOptions &base, const PlacementFeedback &fb);
 
 /** Compile rawc source text for @p machine. */
 CompileOutput compile_source(const std::string &source,

@@ -1,6 +1,7 @@
 #include "schedule/event_scheduler.hpp"
 
 #include <algorithm>
+#include <functional>
 #include <map>
 #include <queue>
 
@@ -25,16 +26,11 @@ struct Priorities
     std::vector<int64_t> fert;
 };
 
-Priorities
-compute_priorities(const TaskGraph &g, const Partition &part,
-                   const MachineConfig &m)
+/** Topological order of the task graph (panics on a cycle). */
+std::vector<int>
+topo_order(const TaskGraph &g)
 {
     const int n = static_cast<int>(g.nodes().size());
-    Priorities pr;
-    pr.level.assign(n, 0);
-    pr.fert.assign(n, 0);
-
-    // Topological order.
     std::vector<int> indeg(n, 0), order;
     order.reserve(n);
     std::queue<int> q;
@@ -53,8 +49,21 @@ compute_priorities(const TaskGraph &g, const Partition &part,
     }
     check(static_cast<int>(order.size()) == n,
           "scheduler: task graph has a cycle");
+    return order;
+}
 
-    constexpr int64_t kFertCap = 1000000;
+constexpr int64_t kFertCap = 1000000;
+
+Priorities
+compute_priorities(const TaskGraph &g, const Partition &part,
+                   const MachineConfig &m)
+{
+    const int n = static_cast<int>(g.nodes().size());
+    Priorities pr;
+    pr.level.assign(n, 0);
+    pr.fert.assign(n, 0);
+
+    std::vector<int> order = topo_order(g);
     for (int k = n; k-- > 0;) {
         int v = order[k];
         int64_t lvl = 0, fert = 0;
@@ -75,51 +84,41 @@ compute_priorities(const TaskGraph &g, const Partition &part,
     return pr;
 }
 
-} // namespace
+/** Dependence bookkeeping shared by every scheduling pass. */
+struct DepInfo
+{
+    /** node -> paths it sources (usually <= 2: data + bcast). */
+    std::vector<std::vector<int>> paths_of_node;
+    /** Node's non-broadcast (value-carrying) path, or -1. */
+    std::vector<int> data_path_of_node;
+    /** Initial unsatisfied-dependence count per node. */
+    std::vector<int> deps_init;
+    std::vector<std::vector<int>> node_waiters; // node -> nodes
+    std::vector<std::vector<int>> path_waiters; // path -> nodes
+    std::vector<std::vector<int>> in_edges;     // node -> edge ids
+};
 
-BlockSchedule
-schedule_block(const TaskGraph &g, const Partition &part,
-               const MachineConfig &m,
-               const std::vector<CommPath> &paths,
-               const SchedOptions &opts)
+DepInfo
+build_deps(const TaskGraph &g, const Partition &part,
+           const std::vector<CommPath> &paths)
 {
     const int nn = static_cast<int>(g.nodes().size());
     const int np = static_cast<int>(paths.size());
-
-    BlockSchedule out;
-    out.tiles.assign(m.n_tiles, {});
-    out.switches.assign(m.n_tiles, {});
-
-    std::vector<RouteTree> trees;
-    trees.reserve(np);
-    for (const CommPath &p : paths)
-        trees.push_back(build_route_tree(m, p));
-
-    // node -> list of paths it sources (usually <= 2: data + bcast).
-    std::vector<std::vector<int>> paths_of_node(nn);
+    DepInfo d;
+    d.paths_of_node.assign(nn, {});
     for (int p = 0; p < np; p++)
-        paths_of_node[paths[p].src_node].push_back(p);
-    // For dependence purposes the non-broadcast path carries values.
-    std::vector<int> data_path_of_node(nn, -1);
+        d.paths_of_node[paths[p].src_node].push_back(p);
+    d.data_path_of_node.assign(nn, -1);
     for (int p = 0; p < np; p++)
         if (!paths[p].broadcast)
-            data_path_of_node[paths[p].src_node] = p;
+            d.data_path_of_node[paths[p].src_node] = p;
 
-    Priorities pr = compute_priorities(g, part, m);
-    auto prio = [&](int v) {
-        return pr.level[v] * opts.level_weight +
-               pr.fert[v] * opts.fertility_weight;
-    };
-
-    // ---- Dependence bookkeeping. ---------------------------------
-    // Each node waits on a mix of node-deps and path-deps.
-    std::vector<int> deps_left(nn, 0);
-    std::vector<std::vector<int>> node_waiters(nn);  // p -> nodes
-    std::vector<std::vector<int>> path_waiters(np);  // path -> nodes
-
-    std::vector<std::vector<int>> in_edges(nn);
+    d.deps_init.assign(nn, 0);
+    d.node_waiters.assign(nn, {});
+    d.path_waiters.assign(np, {});
+    d.in_edges.assign(nn, {});
     for (int e = 0; e < static_cast<int>(g.edges().size()); e++)
-        in_edges[g.edges()[e].to].push_back(e);
+        d.in_edges[g.edges()[e].to].push_back(e);
 
     for (int e = 0; e < static_cast<int>(g.edges().size()); e++) {
         const TGEdge &edge = g.edges()[e];
@@ -131,32 +130,67 @@ schedule_block(const TaskGraph &g, const Partition &part,
             // Same-tile anti-dep: wait for the node; if the producer
             // is an import with fan-out paths, also wait for those
             // paths (their sends read the register being overwritten).
-            node_waiters[p].push_back(v);
-            deps_left[v]++;
+            d.node_waiters[p].push_back(v);
+            d.deps_init[v]++;
             if (g.nodes()[p].kind == TGKind::kImport) {
-                for (int pp : paths_of_node[p]) {
-                    path_waiters[pp].push_back(v);
-                    deps_left[v]++;
+                for (int pp : d.paths_of_node[p]) {
+                    d.path_waiters[pp].push_back(v);
+                    d.deps_init[v]++;
                 }
             }
             continue;
         }
         if (same) {
-            node_waiters[p].push_back(v);
-            deps_left[v]++;
+            d.node_waiters[p].push_back(v);
+            d.deps_init[v]++;
         } else {
-            int path = data_path_of_node[p];
+            int path = d.data_path_of_node[p];
             check(path >= 0, "scheduler: cross-tile edge without path");
-            path_waiters[path].push_back(v);
-            deps_left[v]++;
+            d.path_waiters[path].push_back(v);
+            d.deps_init[v]++;
         }
     }
+    return d;
+}
 
-    // ---- Scheduling state. ---------------------------------------
-    std::vector<bool> node_done(nn, false), path_done(np, false);
-    std::vector<int64_t> finish(nn, 0), issue(nn, 0);
-    std::vector<int64_t> send_issue(np, 0);
-    std::vector<std::map<int, int64_t>> arrival(np); // path -> tile->recv
+/** One list-scheduling pass plus the timing it realized. */
+struct PassResult
+{
+    BlockSchedule sched;
+    std::vector<int64_t> finish, issue, send_issue;
+    std::vector<std::map<int, int64_t>> arrival; // path -> tile->recv
+};
+
+/**
+ * One greedy list-scheduling pass.  @p prio gives the priority of
+ * every node (paths inherit their source node's); @p fifo ignores it
+ * and serves tasks in global ready order.  @p trees_yx, when
+ * non-null, enables per-path XY/YX route selection: the pass commits
+ * whichever tree admits the earlier send slot (ties keep XY, so runs
+ * without contention are unchanged).
+ */
+PassResult
+run_pass(const TaskGraph &g, const Partition &part,
+         const MachineConfig &m, const std::vector<CommPath> &paths,
+         const std::vector<RouteTree> &trees_xy,
+         const std::vector<RouteTree> *trees_yx,
+         const std::vector<uint8_t> &yx_differs, const DepInfo &dep,
+         const std::vector<int64_t> &prio, bool fifo)
+{
+    const int nn = static_cast<int>(g.nodes().size());
+    const int np = static_cast<int>(paths.size());
+
+    PassResult res;
+    BlockSchedule &out = res.sched;
+    out.tiles.assign(m.n_tiles, {});
+    out.switches.assign(m.n_tiles, {});
+
+    std::vector<int> deps_left = dep.deps_init;
+    std::vector<bool> path_done(np, false);
+    res.finish.assign(nn, 0);
+    res.issue.assign(nn, 0);
+    res.send_issue.assign(np, 0);
+    res.arrival.assign(np, {});
 
     std::vector<std::vector<bool>> proc_busy(m.n_tiles);
     std::vector<std::map<int64_t, SwRes>> sw_res(m.n_tiles);
@@ -191,14 +225,36 @@ schedule_block(const TaskGraph &g, const Partition &part,
     };
     std::priority_queue<Task> ready;
     int64_t seq = 0;
+    int scheduled = 0;
+
+    std::function<void(int)> complete_node;
+    auto push_path = [&](int p) {
+        int64_t pp = fifo ? -seq : prio[paths[p].src_node];
+        ready.push({pp, seq++, 1, p});
+    };
     auto push_node = [&](int v) {
-        int64_t p = opts.fifo_priority ? -seq : prio(v);
+        // In ready-FIFO mode a zero-cost import completes the moment
+        // it becomes ready, so its paths (and the nodes they unlock)
+        // enter the single global sequence right here instead of
+        // after every task already in the queue — the queue round
+        // trip would sequence all import-sourced communication after
+        // all initially-ready nodes and skew the FIFO baseline.
+        if (fifo && g.nodes()[v].kind == TGKind::kImport) {
+            res.issue[v] = 0;
+            res.finish[v] = 0;
+            complete_node(v);
+            return;
+        }
+        int64_t p = fifo ? -seq : prio[v];
         ready.push({p, seq++, 0, v});
     };
-    auto push_path = [&](int p) {
-        int64_t pp =
-            opts.fifo_priority ? -seq : prio(paths[p].src_node);
-        ready.push({pp, seq++, 1, p});
+    complete_node = [&](int v) {
+        scheduled++;
+        for (int p : dep.paths_of_node[v])
+            push_path(p);
+        for (int w : dep.node_waiters[v])
+            if (--deps_left[w] == 0)
+                push_node(w);
     };
 
     for (int v = 0; v < nn; v++)
@@ -208,25 +264,25 @@ schedule_block(const TaskGraph &g, const Partition &part,
     // Earliest start time of node v given its satisfied deps.
     auto ready_time = [&](int v) {
         int64_t t = 0;
-        for (int e : in_edges[v]) {
+        for (int e : dep.in_edges[v]) {
             const TGEdge &edge = g.edges()[e];
             int p = edge.from;
             bool same = part.tile_of[p] == part.tile_of[v];
             if (edge.kind == DepKind::kAnti) {
                 if (!same)
                     continue;
-                t = std::max(t, issue[p] + 1);
+                t = std::max(t, res.issue[p] + 1);
                 if (g.nodes()[p].kind == TGKind::kImport)
-                    for (int pp : paths_of_node[p])
-                        t = std::max(t, send_issue[pp] + 1);
+                    for (int pp : dep.paths_of_node[p])
+                        t = std::max(t, res.send_issue[pp] + 1);
                 continue;
             }
             if (same) {
-                t = std::max(t, finish[p]);
+                t = std::max(t, res.finish[p]);
             } else {
-                int path = data_path_of_node[p];
-                auto it = arrival[path].find(part.tile_of[v]);
-                check(it != arrival[path].end(),
+                int path = dep.data_path_of_node[p];
+                auto it = res.arrival[path].find(part.tile_of[v]);
+                check(it != res.arrival[path].end(),
                       "scheduler: missing arrival");
                 t = std::max(t, it->second + 1);
             }
@@ -234,15 +290,42 @@ schedule_block(const TaskGraph &g, const Partition &part,
         return t;
     };
 
-    int scheduled = 0;
-    auto complete_node = [&](int v) {
-        node_done[v] = true;
-        scheduled++;
-        for (int p : paths_of_node[v])
-            push_path(p);
-        for (int w : node_waiters[v])
-            if (--deps_left[w] == 0)
-                push_node(w);
+    // First cycle >= the path's ready time at which @p tree can run
+    // start-to-finish without touching an occupied slot.
+    auto find_slot = [&](const RouteTree &tree, int src_tile,
+                         int64_t r) {
+        int64_t t = r;
+        for (;; t++) {
+            check(t < r + 2000000,
+                  "scheduler: no feasible slot for path");
+            if (!proc_free(src_tile, t))
+                continue;
+            bool ok = true;
+            for (const TreeHop &h : tree.hops) {
+                auto it = sw_res[h.tile].find(t + 1 + h.depth);
+                if (it == sw_res[h.tile].end())
+                    continue;
+                const SwRes &res2 = it->second;
+                uint8_t in_bit = static_cast<uint8_t>(
+                    1u << static_cast<int>(h.in));
+                if ((res2.in_used & in_bit) ||
+                    (res2.out_used & h.out_mask) ||
+                    (h.to_reg && res2.reg_used)) {
+                    ok = false;
+                    break;
+                }
+            }
+            if (ok) {
+                for (auto &[tile, depth] : tree.proc_recvs) {
+                    if (!proc_free(tile, t + 2 + depth)) {
+                        ok = false;
+                        break;
+                    }
+                }
+            }
+            if (ok)
+                return t;
+        }
     };
 
     while (!ready.empty()) {
@@ -252,8 +335,8 @@ schedule_block(const TaskGraph &g, const Partition &part,
             int v = task.id;
             const TGNode &nd = g.nodes()[v];
             if (nd.kind == TGKind::kImport) {
-                issue[v] = 0;
-                finish[v] = 0;
+                res.issue[v] = 0;
+                res.finish[v] = 0;
                 complete_node(v);
                 continue;
             }
@@ -264,48 +347,28 @@ schedule_block(const TaskGraph &g, const Partition &part,
             proc_take(tile, t);
             out.tiles[tile].push_back({t, TileItem::Kind::kCompute, v,
                                        kNoValue, -1});
-            issue[v] = t;
-            finish[v] = t + std::max(1, nd.cost);
-            out.makespan = std::max(out.makespan, finish[v]);
+            res.issue[v] = t;
+            res.finish[v] = t + std::max(1, nd.cost);
+            out.makespan = std::max(out.makespan, res.finish[v]);
             complete_node(v);
         } else {
             int p = task.id;
             const CommPath &path = paths[p];
-            const RouteTree &tree = trees[p];
             int src_tile = path.src_tile;
-            int64_t r = std::max<int64_t>(finish[path.src_node], 0);
+            int64_t r =
+                std::max<int64_t>(res.finish[path.src_node], 0);
 
-            int64_t t = r;
-            for (;; t++) {
-                check(t < r + 2000000,
-                      "scheduler: no feasible slot for path");
-                if (!proc_free(src_tile, t))
-                    continue;
-                bool ok = true;
-                for (const TreeHop &h : tree.hops) {
-                    auto it = sw_res[h.tile].find(t + 1 + h.depth);
-                    if (it == sw_res[h.tile].end())
-                        continue;
-                    const SwRes &res = it->second;
-                    uint8_t in_bit = static_cast<uint8_t>(
-                        1u << static_cast<int>(h.in));
-                    if ((res.in_used & in_bit) ||
-                        (res.out_used & h.out_mask) ||
-                        (h.to_reg && res.reg_used)) {
-                        ok = false;
-                        break;
-                    }
+            const RouteTree *tree = &trees_xy[p];
+            int64_t t = find_slot(*tree, src_tile, r);
+            if (trees_yx && yx_differs[p]) {
+                // Both orderings reach every destination at the same
+                // depth, so the earlier send wins outright.
+                int64_t t_yx =
+                    find_slot((*trees_yx)[p], src_tile, r);
+                if (t_yx < t) {
+                    t = t_yx;
+                    tree = &(*trees_yx)[p];
                 }
-                if (ok) {
-                    for (auto &[tile, depth] : tree.proc_recvs) {
-                        if (!proc_free(tile, t + 2 + depth)) {
-                            ok = false;
-                            break;
-                        }
-                    }
-                }
-                if (ok)
-                    break;
             }
 
             // Commit.
@@ -313,29 +376,29 @@ schedule_block(const TaskGraph &g, const Partition &part,
             out.tiles[src_tile].push_back({t, TileItem::Kind::kSend,
                                            path.src_node, path.value,
                                            p});
-            for (const TreeHop &h : tree.hops) {
-                SwRes &res = sw_res[h.tile][t + 1 + h.depth];
-                res.in_used |= static_cast<uint8_t>(
+            for (const TreeHop &h : tree->hops) {
+                SwRes &swr = sw_res[h.tile][t + 1 + h.depth];
+                swr.in_used |= static_cast<uint8_t>(
                     1u << static_cast<int>(h.in));
-                res.out_used |= h.out_mask;
-                res.reg_used = res.reg_used || h.to_reg;
+                swr.out_used |= h.out_mask;
+                swr.reg_used = swr.reg_used || h.to_reg;
                 out.switches[h.tile].push_back(
                     {t + 1 + h.depth, h.in, h.out_mask, h.to_reg,
                      path.value, p});
                 out.makespan =
                     std::max(out.makespan, t + 2 + h.depth);
             }
-            for (auto &[tile, depth] : tree.proc_recvs) {
+            for (auto &[tile, depth] : tree->proc_recvs) {
                 int64_t rc = t + 2 + depth;
                 proc_take(tile, rc);
                 out.tiles[tile].push_back(
                     {rc, TileItem::Kind::kRecv, -1, path.value, p});
-                arrival[p][tile] = rc;
+                res.arrival[p][tile] = rc;
                 out.makespan = std::max(out.makespan, rc + 1);
             }
-            send_issue[p] = t;
+            res.send_issue[p] = t;
             path_done[p] = true;
-            for (int w : path_waiters[p])
+            for (int w : dep.path_waiters[p])
                 if (--deps_left[w] == 0)
                     push_node(w);
         }
@@ -360,7 +423,149 @@ schedule_block(const TaskGraph &g, const Partition &part,
     out.tile_busy.assign(out.tiles.size(), 0);
     for (size_t t = 0; t < out.tiles.size(); t++)
         out.tile_busy[t] = static_cast<int64_t>(out.tiles[t].size());
-    return out;
+    return res;
+}
+
+/**
+ * Priorities rebuilt from an achieved schedule.  Communication edge
+ * weights are the *realized* producer-finish-to-consumer-ready
+ * latencies — which include send serialization on the source
+ * processor and ROUTE contention, not just hop distance — and each
+ * node's total slack under those weights is subtracted, so ties
+ * between equal realized levels break toward the tasks the achieved
+ * schedule actually kept waiting.
+ */
+std::vector<int64_t>
+realized_priorities(const TaskGraph &g, const Partition &part,
+                    const MachineConfig &m,
+                    const std::vector<CommPath> &paths,
+                    const DepInfo &dep, const Priorities &stat,
+                    const PassResult &pass, const SchedOptions &opts)
+{
+    (void)paths;
+    const int n = static_cast<int>(g.nodes().size());
+    std::vector<int> order = topo_order(g);
+
+    // Realized latency of one edge (0 for same-tile / anti edges).
+    auto comm_of = [&](const TGEdge &edge) -> int64_t {
+        int p = edge.from, s = edge.to;
+        if (edge.kind == DepKind::kAnti ||
+            part.tile_of[p] == part.tile_of[s])
+            return 0;
+        int64_t est = 2 + m.distance(part.tile_of[p],
+                                     part.tile_of[s]);
+        int q = dep.data_path_of_node[p];
+        if (q < 0)
+            return est;
+        auto it = pass.arrival[q].find(part.tile_of[s]);
+        if (it == pass.arrival[q].end())
+            return est;
+        return std::max(est, it->second + 1 - pass.finish[p]);
+    };
+
+    std::vector<int64_t> level(n, 0), est(n, 0);
+    for (int k = n; k-- > 0;) {
+        int v = order[k];
+        int64_t lvl = 0;
+        for (int e : g.out_edges(v)) {
+            const TGEdge &edge = g.edges()[e];
+            lvl = std::max(lvl, comm_of(edge) + level[edge.to]);
+        }
+        level[v] = g.nodes()[v].cost + lvl;
+    }
+    for (int v : order) {
+        for (int e : dep.in_edges[v]) {
+            const TGEdge &edge = g.edges()[e];
+            if (edge.kind == DepKind::kAnti)
+                continue;
+            int p = edge.from;
+            est[v] = std::max(est[v], est[p] + g.nodes()[p].cost +
+                                          comm_of(edge));
+        }
+    }
+    int64_t span = 0;
+    for (int v = 0; v < n; v++)
+        span = std::max(span, est[v] + level[v]);
+
+    std::vector<int64_t> prio(n, 0);
+    for (int v = 0; v < n; v++) {
+        int64_t slack = span - est[v] - level[v];
+        prio[v] = level[v] * opts.level_weight +
+                  stat.fert[v] * opts.fertility_weight - slack;
+    }
+    return prio;
+}
+
+} // namespace
+
+BlockSchedule
+schedule_block(const TaskGraph &g, const Partition &part,
+               const MachineConfig &m,
+               const std::vector<CommPath> &paths,
+               const SchedOptions &opts)
+{
+    const int np = static_cast<int>(paths.size());
+
+    std::vector<RouteTree> trees_xy;
+    trees_xy.reserve(np);
+    for (const CommPath &p : paths)
+        trees_xy.push_back(build_route_tree(m, p));
+
+    DepInfo dep = build_deps(g, part, paths);
+    Priorities stat = compute_priorities(g, part, m);
+    std::vector<int64_t> prio0(g.nodes().size(), 0);
+    for (size_t v = 0; v < g.nodes().size(); v++)
+        prio0[v] = stat.level[v] * opts.level_weight +
+                   stat.fert[v] * opts.fertility_weight;
+
+    // Pass 0 is the seed single greedy pass; with every optimization
+    // flag off its schedule is returned untouched, and with them on
+    // it is the floor no candidate may fall below (best-of-N).
+    PassResult best = run_pass(g, part, m, paths, trees_xy, nullptr,
+                               {}, dep, prio0, opts.fifo_priority);
+    if (!opts.multi_pass())
+        return std::move(best.sched);
+
+    std::vector<RouteTree> trees_yx;
+    std::vector<uint8_t> yx_differs;
+    bool any_yx = false;
+    if (opts.route_select) {
+        trees_yx.reserve(np);
+        yx_differs.assign(np, 0);
+        for (int p = 0; p < np; p++) {
+            trees_yx.push_back(
+                build_route_tree(m, paths[p], RouteOrder::kYX));
+            yx_differs[p] =
+                !same_route_tree(trees_xy[p], trees_yx[p]);
+            any_yx = any_yx || yx_differs[p];
+        }
+    }
+    const std::vector<RouteTree> *yx =
+        any_yx ? &trees_yx : nullptr;
+
+    auto consider = [&](PassResult &&cand) {
+        if (cand.sched.makespan < best.sched.makespan)
+            best = std::move(cand);
+    };
+
+    PassResult last = run_pass(g, part, m, paths, trees_xy, yx, yx_differs,
+                               dep, prio0, opts.fifo_priority);
+    // run_pass with yx == nullptr and the same inputs would repeat
+    // pass 0 exactly; only evaluate the route-select candidate when
+    // some path actually has a distinct YX tree.
+    if (yx) {
+        PassResult copy = last; // feedback source for iteration 1
+        consider(std::move(copy));
+    }
+    for (int it = 0; it < opts.sched_iters; it++) {
+        std::vector<int64_t> prio = realized_priorities(
+            g, part, m, paths, dep, stat, last, opts);
+        last = run_pass(g, part, m, paths, trees_xy, yx, yx_differs,
+                        dep, prio, false);
+        PassResult copy = last;
+        consider(std::move(copy));
+    }
+    return std::move(best.sched);
 }
 
 } // namespace raw

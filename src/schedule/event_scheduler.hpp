@@ -27,13 +27,35 @@
 
 namespace raw {
 
-/** Scheduling policy knobs (ablations). */
+/** Scheduling policy knobs (ablations and optimizations). */
 struct SchedOptions
 {
     int level_weight = 16;
     int fertility_weight = 1;
     /** Ablation: ignore priorities, schedule in ready-FIFO order. */
     bool fifo_priority = false;
+    /**
+     * Slack-driven iterated rescheduling: after the first list-
+     * scheduling pass, recompute priorities from the *achieved*
+     * schedule (realized communication latencies including ROUTE
+     * occupancy, minus total slack) and reschedule, up to this many
+     * extra passes.  The shortest schedule per block wins; 0 keeps
+     * the single greedy pass of the paper.  Bounded (2-3 is enough)
+     * so compile time stays near the single-pass cost.
+     */
+    int sched_iters = 0;
+    /**
+     * Contention-aware route selection: when the XY-ordered route
+     * tree of a path would stall on an occupied switch port at its
+     * ready time, also evaluate the YX-ordered tree and commit
+     * whichever starts earlier (ties keep XY).  Each path still uses
+     * exactly one single-source tree, so the static ordering property
+     * and the runtime checker are unaffected.
+     */
+    bool route_select = false;
+
+    /** Any best-of-N mechanism beyond the seed single pass enabled? */
+    bool multi_pass() const { return sched_iters > 0 || route_select; }
 };
 
 /** One processor-stream entry of the schedule. */

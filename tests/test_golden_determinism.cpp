@@ -32,6 +32,8 @@ struct GoldenPoint
     const char *bench;
     int tiles;
     FaultConfig faults;
+    /** Schedule-quality optimizer (--sched-iters 3 --route-select). */
+    bool sched_opt = false;
 };
 
 // Must stay in sync with kPoints in tools/golden_gen.cpp.
@@ -42,6 +44,10 @@ const GoldenPoint kPoints[] = {
     {"jacobi", 1, {}},    {"jacobi", 4, {}},    {"jacobi", 16, {}},
     {"jacobi", 4, {0.01, 20, 42}},
     {"jacobi", 4, {0.02, 9, 7, 0.05, 3, 0.05, 6, 0.02}},
+    {"life", 16, {}, true},
+    {"cholesky", 16, {}, true},
+    {"mxm", 16, {}, true},
+    {"jacobi", 16, {}, true},
 };
 
 std::string
@@ -49,6 +55,8 @@ point_name(const GoldenPoint &p)
 {
     std::string name =
         std::string(p.bench) + "_n" + std::to_string(p.tiles);
+    if (p.sched_opt)
+        name += "_sched";
     if (p.faults.multi_channel())
         name += "_mfault";
     else if (p.faults.miss_rate > 0)
@@ -72,9 +80,14 @@ std::string
 run_point(const GoldenPoint &p)
 {
     const BenchmarkProgram &prog = benchmark(p.bench);
+    CompilerOptions opts;
+    if (p.sched_opt) {
+        opts.orch.sched.sched_iters = 3;
+        opts.orch.sched.route_select = true;
+    }
     RunResult r =
         run_rawcc(prog.source, MachineConfig::base(p.tiles),
-                  prog.check_array, {}, p.faults);
+                  prog.check_array, opts, p.faults);
     return golden_summary(p.bench, p.tiles, p.faults, r.sim);
 }
 

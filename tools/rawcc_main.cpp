@@ -33,6 +33,10 @@
  *   --no-unroll        disable affine staticization (ablation)
  *   --no-replication   broadcast every branch (ablation)
  *   --no-port-fold     keep explicit send/receive instructions
+ *   --sched-iters N    slack-driven rescheduling passes (default 0)
+ *   --route-select     contention-aware XY/YX route selection
+ *   --pgo              profile-guided placement (compile, simulate,
+ *                      recompile around the measured congestion)
  *   --list-benchmarks  list the built-in Table 2 programs
  *
  * The input is a rawc source file, or the name of a built-in
@@ -71,6 +75,7 @@ usage()
         "  --dyn-delay-rate R --dyn-delay-cycles P --jitter-rate R\n"
         "  --check --fault-campaign N --campaign-out FILE --jobs N\n"
         "  --no-unroll --no-replication --no-port-fold\n"
+        "  --sched-iters N --route-select --pgo\n"
         "  --list-benchmarks\n");
 }
 
@@ -235,7 +240,17 @@ main(int argc, char **argv)
             if (jobs < 0 || jobs > 4096)
                 bad_value("--jobs", argv[i],
                           "a worker count in 0..4096");
-        } else if (a == "--no-unroll")
+        } else if (a == "--sched-iters") {
+            long n = parse_long(next(), "--sched-iters");
+            if (n < 0 || n > 16)
+                bad_value("--sched-iters", argv[i],
+                          "a pass count in 0..16");
+            opts.orch.sched.sched_iters = static_cast<int>(n);
+        } else if (a == "--route-select")
+            opts.orch.sched.route_select = true;
+        else if (a == "--pgo")
+            opts.pgo = true;
+        else if (a == "--no-unroll")
             opts.unroll.enable = false;
         else if (a == "--no-replication")
             opts.orch.enable_replication = false;
