@@ -8,12 +8,18 @@
  * BENCH_table3.json which tracks the *simulated* machine.
  *
  * Flags: --jobs N fans the (benchmark × size) runs over N worker
- * threads (0 = one per core); --tiny runs a single small config so CI
- * can smoke-test the harness in well under a second (ctest label
- * perf-smoke); --json-out PATH overrides the output path.
+ * threads (0 = one per core; the PGO sweep, whose points run
+ * sequentially, instead fans each compile's per-block phases over
+ * N); --tiny runs a single small config so CI can
+ * smoke-test the harness in well under a second (ctest label
+ * perf-smoke); --pgo-sweep adds the compile-throughput scenario (a
+ * PGO portfolio over compile-heavy points, timed with the schedule
+ * cache off / cold / warm — the "pgo_sweep" JSON section records the
+ * warm speedup); --json-out PATH overrides the output path.
  *
  * Results (cycle counts, prints) are bit-identical at any --jobs
- * value; only the wall-clock figures vary between hosts and runs.
+ * value and any cache state; only the wall-clock figures vary
+ * between hosts and runs.
  */
 
 #include <chrono>
@@ -26,6 +32,7 @@
 
 #include "harness/harness.hpp"
 #include "harness/parallel.hpp"
+#include "rawcc/schedcache.hpp"
 
 namespace {
 
@@ -69,9 +76,116 @@ time_one(const raw::BenchmarkProgram &prog, int tiles)
     return rt;
 }
 
+/**
+ * Compile-throughput scenario: the same PGO portfolio compile (the
+ * most compile-intensive thing the driver does — every candidate is
+ * a full compile plus a fault-free simulation) over compile-heavy
+ * points, timed three ways: schedule cache off (the pre-cache
+ * baseline), cache on but cold, and cache warm.  The picked programs
+ * must be cycle-identical in all three modes.
+ */
+struct PgoSweep
+{
+    bool ran = false;
+    std::vector<std::string> names;
+    std::vector<int64_t> cycles;
+    double baseline_ms = 0;
+    double cold_ms = 0;
+    double warm_ms = 0;
+    raw::SchedCacheCounters warm_cache;
+};
+
+PgoSweep
+run_pgo_sweep(bool tiny, int jobs)
+{
+    // Points where a PGO race is actually worth running: compile
+    // cost dominated by orchestration (partition + schedule), i.e.
+    // the work the cache reuses.  cholesky n=8 is deliberately
+    // absent — its unroll emits ~680k static instructions for an
+    // 8-tile machine, so candidate compiles there are bound by code
+    // emission and linking, which no schedule cache can share.
+    std::vector<std::pair<const char *, int>> points;
+    if (tiny) {
+        points = {{"jacobi", 4}};
+    } else {
+        points = {{"fpppp-kernel", 8},
+                  {"cholesky", 16},
+                  {"cholesky", 32},
+                  {"fpppp-kernel", 16},
+                  {"fpppp-kernel", 32}};
+    }
+
+    PgoSweep sw;
+    sw.ran = true;
+    for (auto [name, tiles] : points)
+        sw.names.push_back(std::string(name) + "_n" +
+                           std::to_string(tiles));
+
+    auto sweep = [&](bool cache, const char *mode,
+                     raw::SchedCacheCounters *ctr) {
+        Clock::time_point t0 = Clock::now();
+        std::vector<int64_t> cycles;
+        for (auto [name, tiles] : points) {
+            Clock::time_point tp = Clock::now();
+            const raw::BenchmarkProgram &prog = raw::benchmark(name);
+            raw::CompilerOptions opts;
+            opts.pgo = true;
+            opts.orch.use_cache = cache;
+            opts.orch.jobs = jobs;
+            raw::CompileOutput out = raw::compile_source(
+                prog.source, raw::MachineConfig::base(tiles), opts);
+            double compile_ms = ms_since(tp);
+            raw::Simulator sim(out.program);
+            cycles.push_back(sim.run().cycles);
+            if (ctr)
+                ctr->add(out.stats.cache);
+            std::printf("  pgo %-14s n=%-3d %9.1f ms "
+                        "(compile %.1f, verify-sim %.1f) (%s)\n",
+                        name, tiles, ms_since(tp), compile_ms,
+                        ms_since(tp) - compile_ms, mode);
+            std::fflush(stdout);
+        }
+        return std::make_pair(ms_since(t0), cycles);
+    };
+
+    raw::SchedCache::instance().clear_memory();
+    auto [base_ms, base_cycles] = sweep(false, "baseline", nullptr);
+    raw::SchedCache::instance().clear_memory();
+    auto [cold_ms, cold_cycles] = sweep(true, "cold", nullptr);
+    raw::SchedCacheCounters after_cold =
+        raw::SchedCache::instance().totals();
+    std::fprintf(stderr,
+                 "pgo sweep: cache %lld bytes, %lld hit / %lld miss "
+                 "after cold\n",
+                 static_cast<long long>(
+                     raw::SchedCache::instance().memory_bytes()),
+                 static_cast<long long>(after_cold.hits()),
+                 static_cast<long long>(after_cold.misses()));
+    auto [warm_ms, warm_cycles] = sweep(true, "warm", &sw.warm_cache);
+    raw::SchedCacheCounters after_warm =
+        raw::SchedCache::instance().totals();
+    std::fprintf(stderr,
+                 "pgo sweep: %lld hit / %lld miss in warm pass\n",
+                 static_cast<long long>(after_warm.hits() -
+                                        after_cold.hits()),
+                 static_cast<long long>(after_warm.misses() -
+                                        after_cold.misses()));
+
+    if (base_cycles != cold_cycles || base_cycles != warm_cycles) {
+        std::fprintf(stderr,
+                     "pgo sweep: cycles differ across cache modes\n");
+        std::exit(1);
+    }
+    sw.cycles = base_cycles;
+    sw.baseline_ms = base_ms;
+    sw.cold_ms = cold_ms;
+    sw.warm_ms = warm_ms;
+    return sw;
+}
+
 void
 write_json(const std::string &path, const std::vector<RunTiming> &runs,
-           int jobs, double wall_ms)
+           int jobs, double wall_ms, const PgoSweep &pgo)
 {
     raw::PhaseTimings sum;
     int64_t cycles = 0, swaps = 0;
@@ -124,6 +238,39 @@ write_json(const std::string &path, const std::vector<RunTiming> &runs,
                   "\"swaps_per_sec\": %.0f},\n",
                   static_cast<long long>(swaps), swaps_per_sec);
     out << buf;
+    if (pgo.ran) {
+        std::snprintf(
+            buf, sizeof(buf),
+            "  \"pgo_sweep\": {\"baseline_ms\": %.1f, "
+            "\"cold_ms\": %.1f, \"warm_ms\": %.1f,\n",
+            pgo.baseline_ms, pgo.cold_ms, pgo.warm_ms);
+        out << buf;
+        std::snprintf(
+            buf, sizeof(buf),
+            "    \"speedup_cold\": %.2f, \"speedup_warm\": %.2f, "
+            "\"cycles_identical\": true,\n",
+            pgo.cold_ms > 0 ? pgo.baseline_ms / pgo.cold_ms : 0,
+            pgo.warm_ms > 0 ? pgo.baseline_ms / pgo.warm_ms : 0);
+        out << buf;
+        std::snprintf(
+            buf, sizeof(buf),
+            "    \"warm_cache\": {\"hits\": %lld, \"misses\": %lld, "
+            "\"disk_hits\": %lld},\n",
+            static_cast<long long>(pgo.warm_cache.hits()),
+            static_cast<long long>(pgo.warm_cache.misses()),
+            static_cast<long long>(pgo.warm_cache.disk_hits));
+        out << buf;
+        out << "    \"points\": [";
+        for (size_t i = 0; i < pgo.names.size(); i++) {
+            std::snprintf(
+                buf, sizeof(buf),
+                "%s{\"name\": \"%s\", \"cycles\": %lld}",
+                i ? ", " : "", pgo.names[i].c_str(),
+                static_cast<long long>(pgo.cycles[i]));
+            out << buf;
+        }
+        out << "]},\n";
+    }
     out << "  \"runs\": [\n";
     for (size_t i = 0; i < runs.size(); i++) {
         const RunTiming &rt = runs[i];
@@ -148,6 +295,7 @@ main(int argc, char **argv)
     std::string json_out = "BENCH_wallclock.json";
     int jobs = 1;
     bool tiny = false;
+    bool pgo_sweep = false;
     for (int i = 1; i < argc; i++) {
         if (std::strcmp(argv[i], "--json-out") == 0 && i + 1 < argc)
             json_out = argv[++i];
@@ -155,6 +303,8 @@ main(int argc, char **argv)
             jobs = raw::resolve_jobs(std::atoi(argv[++i]));
         else if (std::strcmp(argv[i], "--tiny") == 0)
             tiny = true;
+        else if (std::strcmp(argv[i], "--pgo-sweep") == 0)
+            pgo_sweep = true;
     }
 
     std::vector<std::pair<const raw::BenchmarkProgram *, int>> points;
@@ -184,6 +334,16 @@ main(int argc, char **argv)
             "(%lld cycles)\n",
             rt.name.c_str(), rt.tiles, rt.compile.total_ms, rt.sim_ms,
             static_cast<long long>(rt.cycles));
-    write_json(json_out, runs, jobs, wall_ms);
+
+    PgoSweep pgo;
+    if (pgo_sweep) {
+        pgo = run_pgo_sweep(tiny, jobs);
+        std::printf("pgo sweep: baseline %.1f ms, cold %.1f ms, "
+                    "warm %.1f ms (%.2fx warm speedup)\n",
+                    pgo.baseline_ms, pgo.cold_ms, pgo.warm_ms,
+                    pgo.warm_ms > 0 ? pgo.baseline_ms / pgo.warm_ms
+                                    : 0);
+    }
+    write_json(json_out, runs, jobs, wall_ms, pgo);
     return 0;
 }

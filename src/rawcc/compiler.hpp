@@ -95,6 +95,12 @@ struct CompileStats
     std::vector<int64_t> est_tile_busy;
     /** Per-stage compile time. */
     PhaseTimings timings;
+    /** Block-schedule cache traffic (includes smart-homes probes). */
+    SchedCacheCounters cache;
+    /** Parallel partition phase inside orchestrate_ms (ms). */
+    double orch_partition_ms = 0;
+    /** Parallel schedule+emit phase inside orchestrate_ms (ms). */
+    double orch_schedule_ms = 0;
 
     /** Sum of the per-block makespan estimates. */
     int64_t estimated_makespan() const;
@@ -133,6 +139,16 @@ PlacementFeedback placement_feedback_from_profile(
  */
 std::vector<CompilerOptions> pgo_candidates(
     const CompilerOptions &base, const PlacementFeedback &fb);
+
+/**
+ * Canonical serialization of every option that can change the
+ * compiled program.  Two option sets with equal fingerprints compile
+ * any source to the same output; knobs that only affect how the
+ * compiler runs (verify_ir, pgo driver flag, jobs, cache tiers) are
+ * excluded.  pgo_candidates() uses this to drop duplicate candidates
+ * before racing them.
+ */
+std::string options_fingerprint(const CompilerOptions &opts);
 
 /** Compile rawc source text for @p machine. */
 CompileOutput compile_source(const std::string &source,

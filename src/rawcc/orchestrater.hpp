@@ -26,7 +26,9 @@
  * ids, consumed by the register allocator and linker.
  */
 
+#include <cstdint>
 #include <map>
+#include <string>
 #include <vector>
 
 #include "analysis/replication.hpp"
@@ -53,11 +55,42 @@ struct VInstr
     int target_block = -1;
 };
 
+/** Hit/miss/traffic counters of the block-schedule cache. */
+struct SchedCacheCounters
+{
+    int64_t part_hits = 0;
+    int64_t part_misses = 0;
+    int64_t sched_hits = 0;
+    int64_t sched_misses = 0;
+    /** Hits served from --cache-dir (also counted in *_hits). */
+    int64_t disk_hits = 0;
+    /** Entries dropped for version/checksum/key mismatch. */
+    int64_t disk_corrupt = 0;
+    int64_t bytes_read = 0;
+    int64_t bytes_written = 0;
+
+    int64_t hits() const { return part_hits + sched_hits; }
+    int64_t misses() const { return part_misses + sched_misses; }
+    void add(const SchedCacheCounters &o);
+};
+
 /** Orchestration knobs (ablation switches included). */
 struct OrchestraterOptions
 {
     PartitionOptions partition;
     SchedOptions sched;
+    /**
+     * Worker threads for the per-block partition and schedule phases
+     * (the `--jobs` contract: >= 1 verbatim, 0 = one per core).
+     * Results are bit-identical at any value: blocks are independent,
+     * all function mutation happens serially before the fan-out, and
+     * cross-block merges run serially in block order afterwards.
+     */
+    int jobs = 1;
+    /** Consult/fill the in-memory block-schedule cache. */
+    bool use_cache = true;
+    /** On-disk cache tier directory; empty = memory tier only. */
+    std::string cache_dir;
     /** Disable control replication (every branch broadcasts). */
     bool enable_replication = true;
     /** Fold communication ports into instruction operands
@@ -105,6 +138,12 @@ struct VirtualProgram
      * partitioning the paper lists as future work.
      */
     std::map<ValueId, std::map<int, int>> var_votes;
+    /** Block-schedule cache traffic of this orchestration. */
+    SchedCacheCounters cache;
+    /** Wall-clock of the parallel partition phase (ms). */
+    double partition_phase_ms = 0;
+    /** Wall-clock of the parallel schedule+emit phase (ms). */
+    double schedule_phase_ms = 0;
 };
 
 /**

@@ -14,6 +14,9 @@
  * intentional semantic change.
  */
 
+#include <unistd.h>
+
+#include <filesystem>
 #include <fstream>
 #include <sstream>
 #include <string>
@@ -23,6 +26,7 @@
 
 #include "harness/harness.hpp"
 #include "harness/parallel.hpp"
+#include "rawcc/schedcache.hpp"
 
 namespace raw {
 namespace {
@@ -77,7 +81,8 @@ read_golden(const GoldenPoint &p)
 }
 
 std::string
-run_point(const GoldenPoint &p)
+run_point(const GoldenPoint &p, int jobs = 1,
+          const std::string &cache_dir = {})
 {
     const BenchmarkProgram &prog = benchmark(p.bench);
     CompilerOptions opts;
@@ -85,6 +90,8 @@ run_point(const GoldenPoint &p)
         opts.orch.sched.sched_iters = 3;
         opts.orch.sched.route_select = true;
     }
+    opts.orch.jobs = jobs;
+    opts.orch.cache_dir = cache_dir;
     RunResult r =
         run_rawcc(prog.source, MachineConfig::base(p.tiles),
                   prog.check_array, opts, p.faults);
@@ -108,6 +115,32 @@ TEST(GoldenDeterminism, ParallelHarnessMatchesRecordedGoldens)
     for (int i = 0; i < n; i++)
         EXPECT_EQ(got[i], read_golden(kPoints[i]))
             << point_name(kPoints[i]);
+}
+
+TEST(GoldenDeterminism, ParallelCompileColdAndWarmCacheMatch)
+{
+    // The full matrix the compile-throughput layer promises: every
+    // golden point, compiled serially and with per-block worker
+    // threads, with a cold cache and a warm one (in-memory dropped
+    // between sweeps so the warm pass replays from disk), must stay
+    // byte-identical to the recorded output.
+    namespace fs = std::filesystem;
+    for (int jobs : {1, 4}) {
+        fs::path dir = fs::path(::testing::TempDir()) /
+                       ("golden_rsc_j" + std::to_string(jobs) + "_" +
+                        std::to_string(::getpid()));
+        fs::remove_all(dir);
+        fs::create_directories(dir);
+        for (const char *pass : {"cold", "warm"}) {
+            SchedCache::instance().clear_memory();
+            for (const GoldenPoint &p : kPoints)
+                EXPECT_EQ(run_point(p, jobs, dir.string()),
+                          read_golden(p))
+                    << point_name(p) << " jobs=" << jobs << " "
+                    << pass;
+        }
+        fs::remove_all(dir);
+    }
 }
 
 TEST(GoldenDeterminism, ResolveJobs)

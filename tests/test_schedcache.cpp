@@ -1,0 +1,346 @@
+/**
+ * @file
+ * Block-schedule cache tests: key canonicalization (alpha-equivalent
+ * blocks hit, scheduling-relevant option changes miss), warm-compile
+ * identity, the on-disk tier (survival across a simulated restart,
+ * corruption and truncation recovery), cache-dir validation, and the
+ * PGO candidate dedupe built on options_fingerprint().
+ */
+
+#include <unistd.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <set>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "harness/harness.hpp"
+#include "rawcc/schedcache.hpp"
+#include "sim/disasm.hpp"
+#include "support/error.hpp"
+
+namespace raw {
+namespace {
+
+namespace fs = std::filesystem;
+
+// Two loops plus a data-dependent branch: enough blocks to exercise
+// partition and schedule entries, small enough to compile fast.
+const char *kProg = R"(
+int A[64];
+int i; int s;
+for (i = 0; i < 64; i = i + 1) { A[i] = i * 3; }
+s = 0;
+for (i = 0; i < 64; i = i + 1) {
+  if (A[i] > 90) { s = s + A[i]; }
+}
+print(s);
+)";
+
+// kProg with every identifier renamed; lowers to alpha-equivalent IR.
+const char *kProgRenamed = R"(
+int B[64];
+int j; int t;
+for (j = 0; j < 64; j = j + 1) { B[j] = j * 3; }
+t = 0;
+for (j = 0; j < 64; j = j + 1) {
+  if (B[j] > 90) { t = t + B[j]; }
+}
+print(t);
+)";
+
+CompileOutput
+compile_with(const char *src, CompilerOptions opts)
+{
+    return compile_source(src, MachineConfig::base(4), opts);
+}
+
+/** Unique empty scratch directory under the test temp root. */
+std::string
+fresh_dir(const char *tag)
+{
+    fs::path d = fs::path(::testing::TempDir()) /
+                 (std::string("rawsc_") + tag + "_" +
+                  std::to_string(::getpid()));
+    fs::remove_all(d);
+    fs::create_directories(d);
+    return d.string();
+}
+
+TEST(SchedCache, WarmRecompileHitsEverything)
+{
+    SchedCache::instance().clear_memory();
+    CompilerOptions opts;
+    CompileOutput cold = compile_with(kProg, opts);
+    EXPECT_GT(cold.stats.cache.part_misses, 0);
+    EXPECT_GT(cold.stats.cache.sched_misses, 0);
+
+    CompileOutput warm = compile_with(kProg, opts);
+    EXPECT_EQ(warm.stats.cache.part_misses, 0);
+    EXPECT_EQ(warm.stats.cache.sched_misses, 0);
+    EXPECT_GT(warm.stats.cache.part_hits, 0);
+    EXPECT_GT(warm.stats.cache.sched_hits, 0);
+    EXPECT_EQ(disasm_program(warm.program),
+              disasm_program(cold.program));
+}
+
+TEST(SchedCache, AlphaEquivalentSourcesShareEntries)
+{
+    SchedCache::instance().clear_memory();
+    CompilerOptions opts;
+    CompileOutput a = compile_with(kProg, opts);
+    // Identifier names never enter the cache key, so the renamed
+    // program must be a full hit of the first compile.
+    CompileOutput b = compile_with(kProgRenamed, opts);
+    EXPECT_EQ(b.stats.cache.part_misses, 0);
+    EXPECT_EQ(b.stats.cache.sched_misses, 0);
+    EXPECT_EQ(b.program.tiles.size(), a.program.tiles.size());
+}
+
+TEST(SchedCache, SchedOptionChangeMissesScheduleOnly)
+{
+    SchedCache::instance().clear_memory();
+    CompilerOptions opts;
+    compile_with(kProg, opts);
+
+    CompilerOptions changed = opts;
+    changed.orch.sched.level_weight *= 2;
+    CompileOutput c = compile_with(kProg, changed);
+    // Partition entries are keyed only on partition-relevant inputs,
+    // so they survive a scheduler priority change; schedule entries
+    // must not.
+    EXPECT_EQ(c.stats.cache.part_misses, 0);
+    EXPECT_GT(c.stats.cache.sched_misses, 0);
+}
+
+TEST(SchedCache, PartitionOptionChangeMisses)
+{
+    SchedCache::instance().clear_memory();
+    CompilerOptions opts;
+    compile_with(kProg, opts);
+
+    CompilerOptions changed = opts;
+    changed.orch.partition.seed = 1234;
+    CompileOutput c = compile_with(kProg, changed);
+    EXPECT_GT(c.stats.cache.part_misses, 0);
+}
+
+TEST(SchedCache, CacheOffMatchesCacheOn)
+{
+    SchedCache::instance().clear_memory();
+    CompilerOptions off;
+    off.orch.use_cache = false;
+    CompileOutput plain = compile_with(kProg, off);
+    EXPECT_EQ(plain.stats.cache.hits() + plain.stats.cache.misses(),
+              0);
+
+    CompilerOptions on;
+    CompileOutput cold = compile_with(kProg, on);
+    CompileOutput warm = compile_with(kProg, on);
+    EXPECT_EQ(disasm_program(cold.program),
+              disasm_program(plain.program));
+    EXPECT_EQ(disasm_program(warm.program),
+              disasm_program(plain.program));
+}
+
+TEST(SchedCache, ParallelJobsMatchSerial)
+{
+    SchedCache::instance().clear_memory();
+    CompilerOptions serial;
+    serial.orch.use_cache = false;
+    CompileOutput base = compile_with(kProg, serial);
+
+    for (int jobs : {2, 4}) {
+        SchedCache::instance().clear_memory();
+        CompilerOptions par;
+        par.orch.jobs = jobs;
+        CompileOutput c = compile_with(kProg, par);
+        EXPECT_EQ(disasm_program(c.program),
+                  disasm_program(base.program))
+            << "jobs=" << jobs;
+    }
+}
+
+TEST(SchedCache, DiskTierSurvivesRestart)
+{
+    std::string dir = fresh_dir("disk");
+    SchedCache::instance().clear_memory();
+    CompilerOptions opts;
+    opts.orch.cache_dir = dir;
+    CompileOutput cold = compile_with(kProg, opts);
+    EXPECT_GT(cold.stats.cache.bytes_written, 0);
+
+    // Dropping the in-memory tier simulates a fresh process; every
+    // entry must come back from disk.
+    SchedCache::instance().clear_memory();
+    CompileOutput warm = compile_with(kProg, opts);
+    EXPECT_EQ(warm.stats.cache.part_misses, 0);
+    EXPECT_EQ(warm.stats.cache.sched_misses, 0);
+    EXPECT_GT(warm.stats.cache.disk_hits, 0);
+    EXPECT_EQ(warm.stats.cache.disk_corrupt, 0);
+    EXPECT_EQ(disasm_program(warm.program),
+              disasm_program(cold.program));
+    fs::remove_all(dir);
+}
+
+TEST(SchedCache, CorruptDiskEntriesRecomputedCleanly)
+{
+    std::string dir = fresh_dir("corrupt");
+    SchedCache::instance().clear_memory();
+    CompilerOptions opts;
+    opts.orch.cache_dir = dir;
+    CompileOutput cold = compile_with(kProg, opts);
+
+    // Damage every entry a different way: truncation, checksum
+    // flips, garbage, and an empty file.
+    int i = 0;
+    for (const fs::directory_entry &e : fs::directory_iterator(dir)) {
+        std::string path = e.path().string();
+        std::ifstream in(path, std::ios::binary);
+        std::string body((std::istreambuf_iterator<char>(in)),
+                         std::istreambuf_iterator<char>());
+        in.close();
+        switch (i++ % 4) {
+        case 0:
+            body.resize(body.size() / 2); // truncate
+            break;
+        case 1:
+            body[body.size() / 2] ^= 0x5a; // flip payload byte
+            break;
+        case 2:
+            body = "not a cache entry"; // garbage
+            break;
+        case 3:
+            body.clear(); // empty file
+            break;
+        }
+        std::ofstream out(path,
+                          std::ios::binary | std::ios::trunc);
+        out << body;
+    }
+
+    SchedCache::instance().clear_memory();
+    CompileOutput again = compile_with(kProg, opts);
+    EXPECT_GT(again.stats.cache.disk_corrupt, 0);
+    EXPECT_EQ(again.stats.cache.disk_hits, 0);
+    // Corruption must never change the program, only cost a
+    // recompute (and a rewrite of the damaged entries).
+    EXPECT_EQ(disasm_program(again.program),
+              disasm_program(cold.program));
+    EXPECT_GT(again.stats.cache.bytes_written, 0);
+
+    // The rewritten entries are valid again.
+    SchedCache::instance().clear_memory();
+    CompileOutput fixed = compile_with(kProg, opts);
+    EXPECT_GT(fixed.stats.cache.disk_hits, 0);
+    EXPECT_EQ(fixed.stats.cache.disk_corrupt, 0);
+    fs::remove_all(dir);
+}
+
+TEST(SchedCache, VersionStampMismatchDropsEntry)
+{
+    std::string dir = fresh_dir("version");
+    SchedCache::instance().clear_memory();
+    CompilerOptions opts;
+    opts.orch.cache_dir = dir;
+    compile_with(kProg, opts);
+
+    // Rewrite each entry's version header; everything else is
+    // intact, but a stamp mismatch alone must force a recompute.
+    for (const fs::directory_entry &e : fs::directory_iterator(dir)) {
+        std::string path = e.path().string();
+        std::ifstream in(path, std::ios::binary);
+        std::string body((std::istreambuf_iterator<char>(in)),
+                         std::istreambuf_iterator<char>());
+        in.close();
+        size_t at = body.find(kSchedCacheVersion);
+        ASSERT_NE(at, std::string::npos);
+        body[at + 1] = 'X';
+        std::ofstream out(path,
+                          std::ios::binary | std::ios::trunc);
+        out << body;
+    }
+
+    SchedCache::instance().clear_memory();
+    CompileOutput again = compile_with(kProg, opts);
+    EXPECT_EQ(again.stats.cache.disk_hits, 0);
+    EXPECT_GT(again.stats.cache.disk_corrupt, 0);
+    fs::remove_all(dir);
+}
+
+TEST(SchedCache, ValidateCacheDirErrors)
+{
+    EXPECT_THROW(validate_cache_dir(""), FatalError);
+    // A path under /proc cannot be created.
+    EXPECT_THROW(validate_cache_dir("/proc/rawsc-no-such-dir"),
+                 FatalError);
+    // A regular file is not a usable directory.
+    std::string dir = fresh_dir("file");
+    std::string file = dir + "/plain";
+    std::ofstream(file) << "x";
+    EXPECT_THROW(validate_cache_dir(file), FatalError);
+    // A writable directory validates (and is created on demand).
+    EXPECT_NO_THROW(validate_cache_dir(dir + "/sub/dir"));
+    fs::remove_all(dir);
+}
+
+TEST(SchedCache, PgoCandidatesDuplicateFree)
+{
+    CompilerOptions base;
+    base.pgo = true;
+    PlacementFeedback fb;
+    fb.comm_penalty = {3, 0, 7, 1};
+    fb.proc_penalty = {1, 2, 0, 4};
+    for (const PlacementFeedback &f :
+         {PlacementFeedback{}, fb}) {
+        std::vector<CompilerOptions> cands = pgo_candidates(base, f);
+        std::set<std::string> seen;
+        for (const CompilerOptions &c : cands) {
+            EXPECT_FALSE(c.pgo);
+            EXPECT_TRUE(
+                seen.insert(options_fingerprint(c)).second)
+                << "duplicate candidate fingerprint";
+        }
+        EXPECT_EQ(seen.size(), cands.size());
+    }
+
+    // A base that already carries a portfolio knob collapses the
+    // matching candidate instead of racing it twice.
+    CompilerOptions pre = base;
+    pre.orch.partition.crit_weight = 8;
+    size_t plain_n = pgo_candidates(base, fb).size();
+    size_t pre_n = pgo_candidates(pre, fb).size();
+    EXPECT_LT(pre_n, plain_n);
+}
+
+TEST(SchedCache, FingerprintTracksEffectiveOptions)
+{
+    CompilerOptions a;
+    CompilerOptions b;
+    EXPECT_EQ(options_fingerprint(a), options_fingerprint(b));
+    // Driver-only knobs don't change the fingerprint...
+    b.verify_ir = !b.verify_ir;
+    b.pgo = !b.pgo;
+    b.orch.jobs = 8;
+    b.orch.use_cache = false;
+    b.orch.cache_dir = "/tmp/x";
+    EXPECT_EQ(options_fingerprint(a), options_fingerprint(b));
+    // ...every program-affecting knob does.
+    b.orch.sched.sched_iters = 5;
+    EXPECT_NE(options_fingerprint(a), options_fingerprint(b));
+    b = a;
+    b.orch.partition.seed = 99;
+    EXPECT_NE(options_fingerprint(a), options_fingerprint(b));
+    b = a;
+    b.unroll.small_peel_limit *= 2;
+    EXPECT_NE(options_fingerprint(a), options_fingerprint(b));
+    b = a;
+    b.smart_homes = true;
+    EXPECT_NE(options_fingerprint(a), options_fingerprint(b));
+}
+
+} // namespace
+} // namespace raw

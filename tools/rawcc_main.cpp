@@ -29,7 +29,11 @@
  *   --fault-campaign N sweep N fault points (seeds x channels x
  *                      intensities) and verify bit-identical results
  *   --campaign-out F   campaign JSON report path
- *   --jobs N           campaign worker threads (0 = all cores)
+ *   --jobs N           worker threads (0 = all cores): campaign
+ *                      points, and per-block compile phases
+ *   --cache-dir D      on-disk block-schedule cache (created if
+ *                      missing; must be writable)
+ *   --no-sched-cache   disable the in-memory block-schedule cache
  *   --no-unroll        disable affine staticization (ablation)
  *   --no-replication   broadcast every branch (ablation)
  *   --no-port-fold     keep explicit send/receive instructions
@@ -56,6 +60,7 @@
 #include "harness/harness.hpp"
 #include "harness/parallel.hpp"
 #include "ir/printer.hpp"
+#include "rawcc/schedcache.hpp"
 #include "sim/disasm.hpp"
 #include "sim/profile.hpp"
 
@@ -74,6 +79,7 @@ usage()
         "  --route-stall-rate R --route-stall-cycles P\n"
         "  --dyn-delay-rate R --dyn-delay-cycles P --jitter-rate R\n"
         "  --check --fault-campaign N --campaign-out FILE --jobs N\n"
+        "  --cache-dir DIR --no-sched-cache\n"
         "  --no-unroll --no-replication --no-port-fold\n"
         "  --sched-iters N --route-select --pgo\n"
         "  --list-benchmarks\n");
@@ -120,6 +126,39 @@ parse_double(const char *s, const char *flag)
     if (end == s || *end != '\0' || errno == ERANGE)
         bad_value(flag, s, "a number");
     return v;
+}
+
+/** Compile-throughput report: stage timings + schedule-cache traffic. */
+void
+print_compile_timing(const raw::CompileStats &st)
+{
+    const raw::PhaseTimings &tm = st.timings;
+    std::printf("compile stages (ms): parse %.2f, unroll "
+                "%.2f, lower %.2f, transform %.2f, "
+                "orchestrate %.2f, link %.2f (total %.2f)\n",
+                tm.parse_ms, tm.unroll_ms, tm.lower_ms,
+                tm.transform_ms, tm.orchestrate_ms, tm.link_ms,
+                tm.total_ms);
+    std::printf("orchestrate phases:  partition %.2f ms, "
+                "schedule %.2f ms\n",
+                st.orch_partition_ms, st.orch_schedule_ms);
+    const raw::SchedCacheCounters &c = st.cache;
+    std::printf("sched cache:         %lld hit(s), %lld miss(es) "
+                "(part %lld/%lld, sched %lld/%lld)\n",
+                static_cast<long long>(c.hits()),
+                static_cast<long long>(c.misses()),
+                static_cast<long long>(c.part_hits),
+                static_cast<long long>(c.part_misses),
+                static_cast<long long>(c.sched_hits),
+                static_cast<long long>(c.sched_misses));
+    if (c.disk_hits || c.disk_corrupt || c.bytes_read ||
+        c.bytes_written)
+        std::printf("sched cache disk:    %lld hit(s), %lld "
+                    "dropped, %lld bytes read, %lld written\n",
+                    static_cast<long long>(c.disk_hits),
+                    static_cast<long long>(c.disk_corrupt),
+                    static_cast<long long>(c.bytes_read),
+                    static_cast<long long>(c.bytes_written));
 }
 
 std::string
@@ -240,7 +279,12 @@ main(int argc, char **argv)
             if (jobs < 0 || jobs > 4096)
                 bad_value("--jobs", argv[i],
                           "a worker count in 0..4096");
-        } else if (a == "--sched-iters") {
+            opts.orch.jobs = static_cast<int>(jobs);
+        } else if (a == "--cache-dir")
+            opts.orch.cache_dir = next();
+        else if (a == "--no-sched-cache")
+            opts.orch.use_cache = false;
+        else if (a == "--sched-iters") {
             long n = parse_long(next(), "--sched-iters");
             if (n < 0 || n > 16)
                 bad_value("--sched-iters", argv[i],
@@ -278,6 +322,8 @@ main(int argc, char **argv)
     }
 
     try {
+        if (!opts.orch.cache_dir.empty())
+            validate_cache_dir(opts.orch.cache_dir);
         std::string src = load_input(input);
         int n_tiles = static_cast<int>(tiles);
         MachineConfig machine;
@@ -347,13 +393,7 @@ main(int argc, char **argv)
                         static_cast<long long>(out.stats.spill_ops));
             std::printf("folded port ops:     %d\n",
                         out.stats.folded_port_ops);
-            const PhaseTimings &tm = out.stats.timings;
-            std::printf("compile stages (ms): parse %.2f, unroll "
-                        "%.2f, lower %.2f, transform %.2f, "
-                        "orchestrate %.2f, link %.2f (total %.2f)\n",
-                        tm.parse_ms, tm.unroll_ms, tm.lower_ms,
-                        tm.transform_ms, tm.orchestrate_ms,
-                        tm.link_ms, tm.total_ms);
+            print_compile_timing(out.stats);
         }
         if (!do_run)
             return 0;
@@ -383,11 +423,14 @@ main(int argc, char **argv)
                 return 1;
         }
 
-        if (profile)
+        if (profile) {
             std::fputs(
                 format_profile(r, out.stats.estimated_makespan())
                     .c_str(),
                 stdout);
+            if (!stats) // --stats already printed these
+                print_compile_timing(out.stats);
+        }
         if (!trace_out.empty()) {
             write_chrome_trace(trace_out, r.profile);
             std::printf("trace written to %s\n", trace_out.c_str());
