@@ -29,6 +29,7 @@
 #include <string>
 #include <vector>
 
+#include "harness/cli.hpp"
 #include "harness/harness.hpp"
 #include "harness/parallel.hpp"
 
@@ -126,10 +127,14 @@ measure(const std::vector<BenchmarkProgram> &progs,
 double
 geomean(const Measurements &m, int s, int c)
 {
+    // Clamp each term to >= 1 cycle and guard the empty set so a
+    // degenerate run can never write inf/nan into the JSON.
+    if (m.benches.empty())
+        return 0.0;
     double log_sum = 0;
     for (size_t b = 0; b < m.benches.size(); b++)
-        log_sum += std::log(
-            static_cast<double>(m.cycles[b][s][c]));
+        log_sum += std::log(static_cast<double>(
+            std::max<int64_t>(1, m.cycles[b][s][c])));
     return std::exp(log_sum /
                     static_cast<double>(m.benches.size()));
 }
@@ -224,7 +229,9 @@ main(int argc, char **argv)
                  i + 1 < argc)
             json_out = argv[++i];
         else if (std::strcmp(argv[i], "--jobs") == 0 && i + 1 < argc)
-            jobs = std::atoi(argv[++i]);
+            jobs = static_cast<int>(raw::cli::parse_long_in(
+                "bench_ablation", argv[++i], "--jobs", 0, 1024,
+                "a worker count in [0, 1024]"));
     }
     jobs = resolve_jobs(jobs);
 

@@ -23,6 +23,7 @@
 #include <vector>
 
 #include "harness/campaign.hpp"
+#include "harness/cli.hpp"
 #include "harness/parallel.hpp"
 #include "programs/programs.hpp"
 
@@ -53,13 +54,20 @@ main(int argc, char **argv)
         else if (std::strcmp(argv[i], "--bench") == 0 && i + 1 < argc)
             only_bench = argv[++i];
         else if (std::strcmp(argv[i], "--points") == 0 && i + 1 < argc)
-            points = std::atoi(argv[++i]);
+            points = static_cast<int>(raw::cli::parse_long_in(
+                "bench_faults", argv[++i], "--points", 1, 4096,
+                "a point count in [1, 4096]"));
         else if (std::strcmp(argv[i], "--tiles") == 0 && i + 1 < argc)
-            tiles = std::atoi(argv[++i]);
+            tiles = static_cast<int>(raw::cli::parse_long_in(
+                "bench_faults", argv[++i], "--tiles", 1, 1024,
+                "a tile count in [1, 1024]"));
         else if (std::strcmp(argv[i], "--jobs") == 0 && i + 1 < argc)
-            jobs = std::atoi(argv[++i]);
+            jobs = static_cast<int>(raw::cli::parse_long_in(
+                "bench_faults", argv[++i], "--jobs", 0, 1024,
+                "a worker count in [0, 1024]"));
         else if (std::strcmp(argv[i], "--seed") == 0 && i + 1 < argc)
-            seed = std::strtoull(argv[++i], nullptr, 10);
+            seed = raw::cli::parse_u64("bench_faults", argv[++i],
+                                       "--seed");
         else if (std::strcmp(argv[i], "--smoke") == 0)
             smoke = true;
         else {

@@ -22,6 +22,7 @@
 
 #include <benchmark/benchmark.h>
 
+#include "harness/cli.hpp"
 #include "harness/harness.hpp"
 #include "harness/parallel.hpp"
 #include "sim/profile.hpp"
@@ -86,8 +87,12 @@ measure(int jobs)
         SizeResult sr;
         sr.tiles = n;
         sr.cycles = par.cycles;
-        sr.speedup = static_cast<double>(base.cycles) /
-                     static_cast<double>(par.cycles);
+        // Guard the ratio so a degenerate zero-cycle run can never
+        // write inf/nan into the committed JSON.
+        sr.speedup = par.cycles > 0
+                         ? static_cast<double>(base.cycles) /
+                               static_cast<double>(par.cycles)
+                         : 0.0;
         for (const raw::TileProfile &tp : par.sim.profile.tiles)
             for (int c = 0; c < raw::kNumProcCycleCats; c++)
                 sr.occupancy[c] += tp.proc_cycles[c];
@@ -187,7 +192,10 @@ main(int argc, char **argv)
                  i + 1 < argc)
             json_out = argv[++i];
         else if (std::strcmp(argv[i], "--jobs") == 0 && i + 1 < argc)
-            jobs = raw::resolve_jobs(std::atoi(argv[++i]));
+            jobs = raw::resolve_jobs(static_cast<int>(
+                raw::cli::parse_long_in("bench_table3", argv[++i],
+                                        "--jobs", 0, 1024,
+                                        "a worker count in [0, 1024]")));
     }
 
     std::printf("Table 3: Benchmark Speedup (RAWCC vs. sequential "

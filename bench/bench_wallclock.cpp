@@ -30,6 +30,7 @@
 #include <string>
 #include <vector>
 
+#include "harness/cli.hpp"
 #include "harness/harness.hpp"
 #include "harness/parallel.hpp"
 #include "rawcc/schedcache.hpp"
@@ -47,6 +48,9 @@ ms_since(Clock::time_point t0)
 
 const int kSizes[] = {1, 2, 4, 8, 16, 32};
 
+/** Which execution core(s) the sweep times. */
+enum class BackendMode { kReference, kThreaded, kBoth };
+
 /** One (benchmark, machine size) timing. */
 struct RunTiming
 {
@@ -55,11 +59,13 @@ struct RunTiming
     int64_t cycles = 0;
     int64_t placement_swaps = 0;
     raw::PhaseTimings compile;
-    double sim_ms = 0;
+    double sim_ms = 0;          ///< selected backend (reference in both-mode)
+    double sim_ms_threaded = 0; ///< threaded core (both-mode only)
 };
 
 RunTiming
-time_one(const raw::BenchmarkProgram &prog, int tiles)
+time_one(const raw::BenchmarkProgram &prog, int tiles,
+         BackendMode mode)
 {
     RunTiming rt;
     rt.name = prog.name;
@@ -68,11 +74,30 @@ time_one(const raw::BenchmarkProgram &prog, int tiles)
         prog.source, raw::MachineConfig::base(tiles));
     rt.compile = out.stats.timings;
     rt.placement_swaps = out.stats.placement_swaps;
+    raw::SimBackend primary = mode == BackendMode::kThreaded
+                                  ? raw::SimBackend::kThreaded
+                                  : raw::SimBackend::kReference;
     Clock::time_point t0 = Clock::now();
-    raw::Simulator sim(out.program);
+    raw::Simulator sim(out.program, {}, {}, primary);
     raw::SimResult r = sim.run();
     rt.sim_ms = ms_since(t0);
     rt.cycles = r.cycles;
+    if (mode == BackendMode::kBoth) {
+        Clock::time_point t1 = Clock::now();
+        raw::Simulator sim2(out.program, {}, {},
+                            raw::SimBackend::kThreaded);
+        raw::SimResult r2 = sim2.run();
+        rt.sim_ms_threaded = ms_since(t1);
+        if (r2.cycles != r.cycles) {
+            std::fprintf(stderr,
+                         "%s n=%d: backend cycle mismatch "
+                         "(reference %lld, threaded %lld)\n",
+                         prog.name.c_str(), tiles,
+                         static_cast<long long>(r.cycles),
+                         static_cast<long long>(r2.cycles));
+            std::exit(1);
+        }
+    }
     return rt;
 }
 
@@ -183,13 +208,21 @@ run_pgo_sweep(bool tiny, int jobs)
     return sw;
 }
 
+/** cycles / (ms/1e3), 0 when the denominator is zero (never inf/nan). */
+double
+per_sec(int64_t count, double ms)
+{
+    return ms > 0 ? static_cast<double>(count) / (ms / 1e3) : 0;
+}
+
 void
 write_json(const std::string &path, const std::vector<RunTiming> &runs,
-           int jobs, double wall_ms, const PgoSweep &pgo)
+           int jobs, double wall_ms, const PgoSweep &pgo,
+           BackendMode mode)
 {
     raw::PhaseTimings sum;
     int64_t cycles = 0, swaps = 0;
-    double sim_ms = 0;
+    double sim_ms = 0, sim_ms_threaded = 0;
     for (const RunTiming &rt : runs) {
         sum.parse_ms += rt.compile.parse_ms;
         sum.unroll_ms += rt.compile.unroll_ms;
@@ -201,11 +234,10 @@ write_json(const std::string &path, const std::vector<RunTiming> &runs,
         cycles += rt.cycles;
         swaps += rt.placement_swaps;
         sim_ms += rt.sim_ms;
+        sim_ms_threaded += rt.sim_ms_threaded;
     }
-    double cycles_per_sec = sim_ms > 0 ? cycles / (sim_ms / 1e3) : 0;
-    double swaps_per_sec =
-        sum.orchestrate_ms > 0 ? swaps / (sum.orchestrate_ms / 1e3)
-                               : 0;
+    double cycles_per_sec = per_sec(cycles, sim_ms);
+    double swaps_per_sec = per_sec(swaps, sum.orchestrate_ms);
 
     std::ofstream out(path);
     if (!out) {
@@ -238,6 +270,18 @@ write_json(const std::string &path, const std::vector<RunTiming> &runs,
                   "\"swaps_per_sec\": %.0f},\n",
                   static_cast<long long>(swaps), swaps_per_sec);
     out << buf;
+    if (mode == BackendMode::kBoth) {
+        double ref_cps = per_sec(cycles, sim_ms);
+        double thr_cps = per_sec(cycles, sim_ms_threaded);
+        std::snprintf(
+            buf, sizeof(buf),
+            "  \"sim_backend\": {\"reference_cps\": %.0f, "
+            "\"threaded_cps\": %.0f, \"speedup\": %.2f, "
+            "\"cycles_identical\": true},\n",
+            ref_cps, thr_cps,
+            ref_cps > 0 ? thr_cps / ref_cps : 0);
+        out << buf;
+    }
     if (pgo.ran) {
         std::snprintf(
             buf, sizeof(buf),
@@ -296,12 +340,29 @@ main(int argc, char **argv)
     int jobs = 1;
     bool tiny = false;
     bool pgo_sweep = false;
+    BackendMode mode = BackendMode::kReference;
     for (int i = 1; i < argc; i++) {
         if (std::strcmp(argv[i], "--json-out") == 0 && i + 1 < argc)
             json_out = argv[++i];
         else if (std::strcmp(argv[i], "--jobs") == 0 && i + 1 < argc)
-            jobs = raw::resolve_jobs(std::atoi(argv[++i]));
-        else if (std::strcmp(argv[i], "--tiny") == 0)
+            jobs = raw::resolve_jobs(static_cast<int>(
+                raw::cli::parse_long_in("bench_wallclock", argv[++i],
+                                        "--jobs", 0, 4096,
+                                        "a worker count in 0..4096")));
+        else if (std::strcmp(argv[i], "--sim-backend") == 0 &&
+                 i + 1 < argc) {
+            std::string b = argv[++i];
+            if (b == "reference")
+                mode = BackendMode::kReference;
+            else if (b == "threaded")
+                mode = BackendMode::kThreaded;
+            else if (b == "both")
+                mode = BackendMode::kBoth;
+            else
+                raw::cli::bad_value("bench_wallclock", "--sim-backend",
+                                    argv[i],
+                                    "reference, threaded or both");
+        } else if (std::strcmp(argv[i], "--tiny") == 0)
             tiny = true;
         else if (std::strcmp(argv[i], "--pgo-sweep") == 0)
             pgo_sweep = true;
@@ -322,7 +383,7 @@ main(int argc, char **argv)
     raw::run_parallel(static_cast<int>(points.size()), jobs,
                       [&](int i) {
                           runs[i] = time_one(*points[i].first,
-                                             points[i].second);
+                                             points[i].second, mode);
                       });
     double wall_ms = ms_since(t0);
 
@@ -344,6 +405,6 @@ main(int argc, char **argv)
                     pgo.warm_ms > 0 ? pgo.baseline_ms / pgo.warm_ms
                                     : 0);
     }
-    write_json(json_out, runs, jobs, wall_ms, pgo);
+    write_json(json_out, runs, jobs, wall_ms, pgo, mode);
     return 0;
 }

@@ -1,0 +1,81 @@
+#ifndef RAW_HARNESS_CLI_HPP
+#define RAW_HARNESS_CLI_HPP
+
+/**
+ * @file
+ * Validated command-line number parsing shared by the rawcc tool and
+ * the bench drivers.  std::atoi silently maps garbage to 0 and
+ * accepts trailing junk and negatives, so every driver that sizes a
+ * sweep or a worker pool from argv must go through these helpers:
+ * they reject partial parses, overflow and out-of-range values with a
+ * uniform "<tool>: <flag> expects <what>, got '<value>'" diagnostic
+ * and exit code 2 (usage error), which tests/test_faults.cpp pins.
+ */
+
+#include <cerrno>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+namespace raw {
+namespace cli {
+
+[[noreturn]] inline void
+bad_value(const char *tool, const char *flag, const char *got,
+          const char *want)
+{
+    std::fprintf(stderr, "%s: %s expects %s, got '%s'\n", tool, flag,
+                 want, got);
+    std::exit(2);
+}
+
+/** Parse a full decimal integer; reject trailing garbage/overflow. */
+inline long
+parse_long(const char *tool, const char *s, const char *flag)
+{
+    errno = 0;
+    char *end = nullptr;
+    long v = std::strtol(s, &end, 10);
+    if (end == s || *end != '\0' || errno == ERANGE)
+        bad_value(tool, flag, s, "an integer");
+    return v;
+}
+
+inline unsigned long long
+parse_u64(const char *tool, const char *s, const char *flag)
+{
+    errno = 0;
+    char *end = nullptr;
+    unsigned long long v = std::strtoull(s, &end, 10);
+    if (end == s || *end != '\0' || errno == ERANGE ||
+        std::strchr(s, '-') != nullptr)
+        bad_value(tool, flag, s, "a non-negative integer");
+    return v;
+}
+
+inline double
+parse_double(const char *tool, const char *s, const char *flag)
+{
+    errno = 0;
+    char *end = nullptr;
+    double v = std::strtod(s, &end);
+    if (end == s || *end != '\0' || errno == ERANGE)
+        bad_value(tool, flag, s, "a number");
+    return v;
+}
+
+/** parse_long restricted to [lo, hi]; @p want names the range. */
+inline long
+parse_long_in(const char *tool, const char *s, const char *flag,
+              long lo, long hi, const char *want)
+{
+    long v = parse_long(tool, s, flag);
+    if (v < lo || v > hi)
+        bad_value(tool, flag, s, want);
+    return v;
+}
+
+} // namespace cli
+} // namespace raw
+
+#endif // RAW_HARNESS_CLI_HPP

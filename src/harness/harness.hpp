@@ -36,7 +36,22 @@ RunResult run_rawcc(const std::string &source,
                     const std::string &check_array = "",
                     const CompilerOptions &opts = {},
                     const FaultConfig &faults = {},
-                    const CheckConfig &checks = {});
+                    const CheckConfig &checks = {},
+                    SimBackend backend = SimBackend::kReference);
+
+/**
+ * Differential backend check: simulate @p prog under the reference
+ * and the threaded execution cores with identical fault/check
+ * configuration and require bit-identical observable results —
+ * cycle count, every aggregate counter, the full print trace, the
+ * provenance hash, the per-tile cycle-attribution profile, and the
+ * final contents of every named array.  Throws FatalError naming the
+ * first divergent field otherwise.  Returns the (identical) result.
+ */
+SimResult diff_sim_backends(const CompiledProgram &prog,
+                            const FaultConfig &faults = {},
+                            const CheckConfig &checks = {},
+                            bool trace = false);
 
 /**
  * Profile-guided run: like run_rawcc with opts.pgo, but the

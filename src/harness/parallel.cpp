@@ -4,9 +4,24 @@
 #include <exception>
 #include <thread>
 
+#include "support/error.hpp"
+
 namespace raw {
 
 namespace {
+
+/** Human-readable message of a captured exception. */
+std::string
+describe(const std::exception_ptr &e)
+{
+    try {
+        std::rethrow_exception(e);
+    } catch (const std::exception &ex) {
+        return ex.what()[0] ? ex.what() : "unknown error";
+    } catch (...) {
+        return "unknown error";
+    }
+}
 
 /**
  * Shared pool core: run every job, capturing a thrown exception into
@@ -78,9 +93,38 @@ void
 run_parallel(int n_jobs, int n_threads,
              const std::function<void(int)> &job)
 {
-    for (std::exception_ptr &e : run_all(n_jobs, n_threads, job))
-        if (e)
-            std::rethrow_exception(e);
+    // A lone failure rethrows unchanged (type and message intact).
+    // Multiple sibling failures used to be silently discarded behind
+    // the first; now the count and the first message of each failed
+    // job are reported together.
+    std::vector<std::exception_ptr> errs =
+        run_all(n_jobs, n_threads, job);
+    std::exception_ptr first;
+    int failed = 0;
+    std::string detail;
+    for (size_t i = 0; i < errs.size(); i++) {
+        if (!errs[i])
+            continue;
+        if (!first)
+            first = errs[i];
+        failed++;
+        if (failed <= 3) {
+            detail += "\n  job ";
+            detail += std::to_string(i);
+            detail += ": ";
+            detail += describe(errs[i]);
+        }
+    }
+    if (!first)
+        return;
+    if (failed == 1)
+        std::rethrow_exception(first);
+    if (failed > 3)
+        detail += "\n  ... and " + std::to_string(failed - 3) +
+                  " more";
+    fatal(std::to_string(failed) + " of " +
+          std::to_string(errs.size()) +
+          " parallel jobs failed:" + detail);
 }
 
 std::vector<std::string>
@@ -90,17 +134,9 @@ run_parallel_collect(int n_jobs, int n_threads,
     std::vector<std::exception_ptr> errs =
         run_all(n_jobs, n_threads, job);
     std::vector<std::string> out(errs.size());
-    for (size_t i = 0; i < errs.size(); i++) {
-        if (!errs[i])
-            continue;
-        try {
-            std::rethrow_exception(errs[i]);
-        } catch (const std::exception &ex) {
-            out[i] = ex.what()[0] ? ex.what() : "unknown error";
-        } catch (...) {
-            out[i] = "unknown error";
-        }
-    }
+    for (size_t i = 0; i < errs.size(); i++)
+        if (errs[i])
+            out[i] = describe(errs[i]);
     return out;
 }
 

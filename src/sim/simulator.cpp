@@ -34,8 +34,25 @@ SimResult::print_text() const
     return os.str();
 }
 
+SimBackend
+sim_backend_from_string(const std::string &name)
+{
+    if (name == "reference")
+        return SimBackend::kReference;
+    if (name == "threaded")
+        return SimBackend::kThreaded;
+    fatal("unknown simulator backend: " + name +
+          " (expected reference or threaded)");
+}
+
+const char *
+sim_backend_name(SimBackend b)
+{
+    return b == SimBackend::kThreaded ? "threaded" : "reference";
+}
+
 Simulator::Simulator(const CompiledProgram &prog, FaultConfig faults,
-                     CheckConfig checks)
+                     CheckConfig checks, SimBackend backend)
     : prog_(prog),
       mem_(prog.machine.n_tiles, prog.total_words, prog.spill_slots),
       faults_(faults), rng_(faults.seed * 0x9E3779B97F4A7C15ULL + 1),
@@ -47,7 +64,8 @@ Simulator::Simulator(const CompiledProgram &prog, FaultConfig faults,
                1),
       jitter_rng_((faults.seed ^ 0x4A697474ULL) *
                       0x9E3779B97F4A7C15ULL +
-                  1)
+                  1),
+      backend_(backend)
 {
     if (checks.enabled())
         checker_ = std::make_unique<RuntimeChecker>(
@@ -296,9 +314,43 @@ Simulator::fast_forward(int64_t now, int64_t skip)
         stats_.profile.tiles[t].dyn_net_blocked += skip;
 }
 
+void
+Simulator::finish_run(int64_t now)
+{
+    const int n = prog_.machine.n_tiles;
+    stats_.cycles = now;
+    // Tiles whose processor/switch left the worklist stopped
+    // accounting; backfill the tail so the per-category sums still
+    // total the run's cycle count on every tile.
+    for (int t = 0; t < n; t++) {
+        TileProfile &tp = stats_.profile.tiles[t];
+        int64_t idle = now - tp.proc_total();
+        if (idle > 0)
+            account_proc_n(t, now - idle, ProcCycle::kIdle, idle);
+        idle = now - tp.switch_total();
+        if (idle > 0)
+            account_switch_n(t, now - idle, SwitchCycle::kIdle, idle);
+    }
+    // Program order across loop iterations: iteration-k prints come
+    // before iteration-k+1 prints, program points break ties.
+    std::sort(stats_.prints.begin(), stats_.prints.end(),
+              [](const PrintRecord &a, const PrintRecord &b) {
+                  if (a.occurrence != b.occurrence)
+                      return a.occurrence < b.occurrence;
+                  return a.seq < b.seq;
+              });
+    if (checker_) {
+        stats_.check_failure_count = checker_->failure_count();
+        stats_.prov_hash = checker_->provenance_hash();
+        stats_.check_failures = checker_->take_failures();
+    }
+}
+
 SimResult
 Simulator::run(int64_t max_cycles)
 {
+    if (backend_ == SimBackend::kThreaded)
+        return run_threaded(max_cycles);
     const int n = prog_.machine.n_tiles;
     int64_t now = 0;
     int64_t last_progress = 0;
@@ -411,32 +463,7 @@ Simulator::run(int64_t max_cycles)
         now++;
     }
 
-    stats_.cycles = now;
-    // Tiles whose processor/switch left the worklist stopped
-    // accounting; backfill the tail so the per-category sums still
-    // total the run's cycle count on every tile.
-    for (int t = 0; t < n; t++) {
-        TileProfile &tp = stats_.profile.tiles[t];
-        int64_t idle = now - tp.proc_total();
-        if (idle > 0)
-            account_proc_n(t, now - idle, ProcCycle::kIdle, idle);
-        idle = now - tp.switch_total();
-        if (idle > 0)
-            account_switch_n(t, now - idle, SwitchCycle::kIdle, idle);
-    }
-    // Program order across loop iterations: iteration-k prints come
-    // before iteration-k+1 prints, program points break ties.
-    std::sort(stats_.prints.begin(), stats_.prints.end(),
-              [](const PrintRecord &a, const PrintRecord &b) {
-                  if (a.occurrence != b.occurrence)
-                      return a.occurrence < b.occurrence;
-                  return a.seq < b.seq;
-              });
-    if (checker_) {
-        stats_.check_failure_count = checker_->failure_count();
-        stats_.prov_hash = checker_->provenance_hash();
-        stats_.check_failures = checker_->take_failures();
-    }
+    finish_run(now);
     return stats_;
 }
 

@@ -125,6 +125,13 @@ class Fifo
         pushes_++;
     }
     bool empty() const { return size_ == 0; }
+    /**
+     * At capacity.  Together with empty() this gives the exact value
+     * of can_push/can_pop for any *strictly future* cycle: stamps
+     * never exceed the current cycle, so pushed_this/popped_this are
+     * zero there and the probe reduces to raw occupancy.
+     */
+    bool full() const { return size_ >= cap_; }
     /** Current occupancy (checker cross-validation). */
     int size() const { return size_; }
     /** Ring invariants hold (occupancy and counters in bounds). */
@@ -302,13 +309,38 @@ struct DynPlane
     void init(int n_tiles);
 };
 
+/**
+ * Which execution core drives the simulation.
+ *
+ * kReference is the original cycle-driven interpreter; kThreaded
+ * pre-decodes every tile stream into flat handler records
+ * (sim/threaded.cpp) and sleeps stalled units between events.  Both
+ * backends produce bit-identical SimResults (cycles, prints, profile
+ * sums, provenance hashes) — pinned by tests/test_sim_backend.cpp and
+ * the --sim-diff CLI mode.
+ */
+enum class SimBackend : uint8_t { kReference = 0, kThreaded };
+
+/** Parse "reference" / "threaded"; throws FatalError otherwise. */
+SimBackend sim_backend_from_string(const std::string &name);
+const char *sim_backend_name(SimBackend b);
+
 /** The whole-machine simulator. */
+struct ThreadedState; // threaded.cpp: pre-decoded backend state
+/** Out-of-line deleter so ThreadedState can stay incomplete here. */
+struct ThreadedStateDeleter
+{
+    void operator()(ThreadedState *p) const;
+};
+
 class Simulator
 {
   public:
     explicit Simulator(const CompiledProgram &prog,
                        FaultConfig faults = {},
-                       CheckConfig checks = {});
+                       CheckConfig checks = {},
+                       SimBackend backend = SimBackend::kReference);
+    ~Simulator();
 
     /** Run to completion; throws DeadlockError on global stall. */
     SimResult run(int64_t max_cycles = 2000000000LL);
@@ -328,6 +360,7 @@ class Simulator
     friend struct ProcStepper;
     friend struct SwitchStepper;
     friend struct DynStepper;
+    friend struct ThreadedState;
 
     // Processor state per tile.
     struct Proc
@@ -435,6 +468,11 @@ class Simulator
     Fifo &in_link(int tile, Dir d);
     Fifo &out_link(int tile, Dir d);
 
+    /** Threaded-code backend entry point (sim/threaded.cpp). */
+    SimResult run_threaded(int64_t max_cycles);
+    /** Shared run() postlude: idle backfill, print sort, checker. */
+    void finish_run(int64_t now);
+
     const CompiledProgram &prog_;
     MemorySystem mem_;
     FaultConfig faults_;
@@ -480,6 +518,11 @@ class Simulator
     /** Tiles whose dyn_net_blocked counter ticked this cycle (one
      *  entry per increment; replayed by fast_forward). */
     std::vector<int> plane_blocked_;
+
+    /** Selected execution core. */
+    SimBackend backend_ = SimBackend::kReference;
+    /** Pre-decoded streams + sleep/wake state (threaded backend). */
+    std::unique_ptr<ThreadedState, ThreadedStateDeleter> th_;
 };
 
 } // namespace raw

@@ -1,0 +1,136 @@
+/**
+ * @file
+ * Backend-differential suite: run the reference and the threaded
+ * execution cores over the full golden corpus (every point in
+ * tests/goldens/, at its native machine size and fault/scheduler
+ * configuration), a tile sweep of the golden benchmarks, and a
+ * fault-channel matrix point, asserting bit-identical observable
+ * results via diff_sim_backends — cycle count, every aggregate
+ * counter, print trace, prov_hash, per-tile profile and final array
+ * contents.  The checker is armed on the _sched and fault points
+ * (covering the kRouteN + provenance paths) and left off on the
+ * plain points so the kRoute1 fast path is the one being compared.
+ */
+
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "harness/harness.hpp"
+#include "programs/programs.hpp"
+#include "rawcc/compiler.hpp"
+
+namespace raw {
+namespace {
+
+struct DiffPoint
+{
+    const char *bench;
+    int tiles;
+    FaultConfig faults;
+    bool sched_opt = false;
+    bool check = false;
+};
+
+std::string
+point_name(const DiffPoint &p)
+{
+    std::string n = std::string(p.bench) + "_n" +
+                    std::to_string(p.tiles);
+    if (p.sched_opt)
+        n += "_sched";
+    if (p.faults.any())
+        n += "_fault";
+    if (p.check)
+        n += "_check";
+    return n;
+}
+
+void
+diff_point(const DiffPoint &p)
+{
+    const BenchmarkProgram &prog = benchmark(p.bench);
+    CompilerOptions opts;
+    if (p.sched_opt) {
+        opts.orch.sched.sched_iters = 3;
+        opts.orch.sched.route_select = true;
+    }
+    CompileOutput out = compile_source(
+        prog.source, MachineConfig::base(p.tiles), opts);
+    CheckConfig checks;
+    if (p.check) {
+        checks.provenance = true;
+        checks.fifo_bounds = true;
+    }
+    SCOPED_TRACE(point_name(p));
+    EXPECT_NO_THROW(diff_sim_backends(out.program, p.faults, checks))
+        << point_name(p);
+}
+
+// Mirror of the golden corpus (tools/golden_gen.cpp kPoints): every
+// recorded point at its native size.  Checker armed on the _sched
+// and fault points, off on the plain ones (kRoute1 coverage).
+const DiffPoint kGoldenPoints[] = {
+    {"life", 1, {}},
+    {"life", 4, {}},
+    {"life", 16, {}},
+    {"cholesky", 1, {}},
+    {"cholesky", 4, {}},
+    {"cholesky", 16, {}},
+    {"mxm", 1, {}},
+    {"mxm", 4, {}},
+    {"mxm", 16, {}},
+    {"jacobi", 1, {}},
+    {"jacobi", 4, {}},
+    {"jacobi", 16, {}},
+    {"jacobi", 4, {0.01, 20, 42}, false, true},
+    {"jacobi", 4, {0.02, 9, 7, 0.05, 3, 0.05, 6, 0.02}, false, true},
+    {"life", 16, {}, true, true},
+    {"cholesky", 16, {}, true, true},
+    {"mxm", 16, {}, true, true},
+    {"jacobi", 16, {}, true, true},
+};
+
+TEST(SimBackend, GoldenCorpusDifferential)
+{
+    for (const DiffPoint &p : kGoldenPoints)
+        diff_point(p);
+}
+
+TEST(SimBackend, GoldenBenchTileSweep)
+{
+    // Plain compiles across machine sizes: small meshes exercise the
+    // sprint solo path, big ones the fused per-tile scan and the
+    // predictive-sleep machinery.
+    for (const char *b : {"life", "cholesky", "mxm", "jacobi"})
+        for (int n : {4, 16, 32})
+            diff_point({b, n, {}});
+}
+
+TEST(SimBackend, FaultChannelMatrix)
+{
+    // All four channels at once: memory miss, route stall, dynamic
+    // delay and jitter (jitter disables predictive proc sleep and
+    // quiescence fast-forward, so this pins the spin paths too).
+    FaultConfig all{};
+    all.miss_rate = 0.05;
+    all.penalty = 20;
+    all.seed = 42;
+    all.route_stall_rate = 0.05;
+    all.route_stall_cycles = 3;
+    all.dyn_delay_rate = 0.2;
+    all.dyn_delay_cycles = 5;
+    all.jitter_rate = 0.01;
+    diff_point({"life", 16, all});
+
+    // Checker armed on top of miss faults: provenance tagging and
+    // self-checking must agree between backends under perturbation.
+    FaultConfig miss{};
+    miss.miss_rate = 0.1;
+    miss.penalty = 10;
+    miss.seed = 3;
+    diff_point({"tomcatv", 16, miss, false, true});
+}
+
+} // namespace
+} // namespace raw

@@ -39,6 +39,8 @@
  *   --no-port-fold     keep explicit send/receive instructions
  *   --sched-iters N    slack-driven rescheduling passes (default 0)
  *   --route-select     contention-aware XY/YX route selection
+ *   --sim-backend B    execution core: reference | threaded
+ *   --sim-diff         run both backends, require identical results
  *   --pgo              profile-guided placement (compile, simulate,
  *                      recompile around the measured congestion)
  *   --list-benchmarks  list the built-in Table 2 programs
@@ -57,6 +59,7 @@
 #include <string>
 
 #include "harness/campaign.hpp"
+#include "harness/cli.hpp"
 #include "harness/harness.hpp"
 #include "harness/parallel.hpp"
 #include "ir/printer.hpp"
@@ -82,50 +85,32 @@ usage()
         "  --cache-dir DIR --no-sched-cache\n"
         "  --no-unroll --no-replication --no-port-fold\n"
         "  --sched-iters N --route-select --pgo\n"
+        "  --sim-backend reference|threaded --sim-diff\n"
         "  --list-benchmarks\n");
 }
 
 [[noreturn]] void
 bad_value(const char *flag, const char *got, const char *want)
 {
-    std::fprintf(stderr, "rawcc: %s expects %s, got '%s'\n", flag,
-                 want, got);
-    std::exit(2);
+    raw::cli::bad_value("rawcc", flag, got, want);
 }
 
-/** Parse a full decimal integer; reject trailing garbage/overflow. */
 long
 parse_long(const char *s, const char *flag)
 {
-    errno = 0;
-    char *end = nullptr;
-    long v = std::strtol(s, &end, 10);
-    if (end == s || *end != '\0' || errno == ERANGE)
-        bad_value(flag, s, "an integer");
-    return v;
+    return raw::cli::parse_long("rawcc", s, flag);
 }
 
 unsigned long long
 parse_u64(const char *s, const char *flag)
 {
-    errno = 0;
-    char *end = nullptr;
-    unsigned long long v = std::strtoull(s, &end, 10);
-    if (end == s || *end != '\0' || errno == ERANGE ||
-        std::strchr(s, '-') != nullptr)
-        bad_value(flag, s, "a non-negative integer");
-    return v;
+    return raw::cli::parse_u64("rawcc", s, flag);
 }
 
 double
 parse_double(const char *s, const char *flag)
 {
-    errno = 0;
-    char *end = nullptr;
-    double v = std::strtod(s, &end);
-    if (end == s || *end != '\0' || errno == ERANGE)
-        bad_value(flag, s, "a number");
-    return v;
+    return raw::cli::parse_double("rawcc", s, flag);
 }
 
 /** Compile-throughput report: stage timings + schedule-cache traffic. */
@@ -192,6 +177,8 @@ main(int argc, char **argv)
     CompilerOptions opts;
     FaultConfig faults;
     CheckConfig checks;
+    SimBackend sim_backend = SimBackend::kReference;
+    bool sim_diff = false;
     long fault_campaign = 0;
     long jobs = 0;
     std::string campaign_out;
@@ -292,6 +279,17 @@ main(int argc, char **argv)
             opts.orch.sched.sched_iters = static_cast<int>(n);
         } else if (a == "--route-select")
             opts.orch.sched.route_select = true;
+        else if (a == "--sim-backend") {
+            std::string b = next();
+            if (b == "reference")
+                sim_backend = SimBackend::kReference;
+            else if (b == "threaded")
+                sim_backend = SimBackend::kThreaded;
+            else
+                bad_value("--sim-backend", argv[i],
+                          "reference or threaded");
+        } else if (a == "--sim-diff")
+            sim_diff = true;
         else if (a == "--pgo")
             opts.pgo = true;
         else if (a == "--no-unroll")
@@ -398,10 +396,18 @@ main(int argc, char **argv)
         if (!do_run)
             return 0;
 
-        Simulator sim(out.program, faults, checks);
-        if (!trace_out.empty())
-            sim.set_trace_enabled(true);
-        SimResult r = sim.run();
+        SimResult r;
+        if (sim_diff) {
+            r = diff_sim_backends(out.program, faults, checks,
+                                  !trace_out.empty());
+            std::printf("[sim-diff: reference and threaded backends "
+                        "identical]\n");
+        } else {
+            Simulator sim(out.program, faults, checks, sim_backend);
+            if (!trace_out.empty())
+                sim.set_trace_enabled(true);
+            r = sim.run();
+        }
         std::fputs(r.print_text().c_str(), stdout);
         std::printf("[%lld cycles, %lld instrs, %lld words routed, "
                     "%lld dynamic msgs]\n",
