@@ -106,6 +106,15 @@ CampaignReport::failed_points() const
     return n;
 }
 
+int
+CampaignReport::timeout_points() const
+{
+    int n = 0;
+    for (const CampaignPoint &p : points)
+        n += p.timed_out ? 1 : 0;
+    return n;
+}
+
 std::string
 CampaignReport::to_json() const
 {
@@ -116,6 +125,7 @@ CampaignReport::to_json() const
     os << "  \"base_seed\": " << base_seed << ",\n";
     os << "  \"points\": " << points.size() << ",\n";
     os << "  \"failed\": " << failed_points() << ",\n";
+    os << "  \"timeouts\": " << timeout_points() << ",\n";
     os << "  \"clean\": " << (clean() ? "true" : "false") << ",\n";
     os << "  \"detail\": [\n";
     for (size_t i = 0; i < points.size(); i++) {
@@ -139,6 +149,7 @@ CampaignReport::to_json() const
            << (p.array_match ? "true" : "false")
            << ", \"hash_match\": " << (p.hash_match ? "true" : "false")
            << ", \"ok\": " << (p.ok() ? "true" : "false")
+           << ", \"outcome\": \"" << p.outcome() << "\""
            << ", \"error\": \"" << json_escape(p.error) << "\"}"
            << (i + 1 < points.size() ? "," : "") << "\n";
     }
@@ -159,13 +170,18 @@ CampaignReport::summary() const
               "(bit-identical prints/arrays/provenance, zero "
               "self-check failures)";
     } else {
-        os << failed_points() << " point(s) FAILED:";
+        os << failed_points() << " point(s) FAILED";
+        if (timeout_points() > 0)
+            os << " (" << timeout_points() << " timed out)";
+        os << ":";
         for (const CampaignPoint &p : points) {
             if (p.ok())
                 continue;
             os << "\n  point " << p.index << " [" << p.channels
                << "]: ";
-            if (!p.error.empty())
+            if (p.timed_out)
+                os << "timeout: " << p.error;
+            else if (!p.error.empty())
                 os << p.error;
             else if (!p.trace_match)
                 os << "print trace diverged from clean reference";
@@ -184,7 +200,8 @@ CampaignReport
 run_fault_campaign(const std::string &bench,
                    const MachineConfig &machine, int n_points,
                    uint64_t base_seed, int jobs,
-                   const CompilerOptions &opts)
+                   const CompilerOptions &opts,
+                   int64_t point_timeout_ms)
 {
     const BenchmarkProgram &bp = benchmark(bench);
     // One compile; the program is immutable and shared by every
@@ -217,7 +234,18 @@ run_fault_campaign(const std::string &bench,
     auto run_point = [&](int i) {
         CampaignPoint &pt = rep.points[i];
         Simulator sim(out.program, pt.faults, checks);
-        SimResult sr = sim.run();
+        if (point_timeout_ms > 0)
+            sim.set_wall_budget_ms(point_timeout_ms);
+        SimResult sr;
+        try {
+            sr = sim.run();
+        } catch (const SimTimeoutError &e) {
+            // Structured outcome: the point exceeded its wall-clock
+            // budget; the sweep continues, the report says so.
+            pt.timed_out = true;
+            pt.error = e.what();
+            return;
+        }
         pt.cycles = sr.cycles;
         pt.check_failures = sr.check_failure_count;
         pt.prov_hash = sr.prov_hash;

@@ -40,11 +40,19 @@ struct CampaignPoint
     bool hash_match = false;
     /** Empty on success; exception or divergence message otherwise. */
     std::string error;
+    /** Point exceeded its wall-clock budget (--point-timeout). */
+    bool timed_out = false;
 
     bool ok() const
     {
-        return error.empty() && trace_match && array_match &&
-               hash_match && check_failures == 0;
+        return error.empty() && !timed_out && trace_match &&
+               array_match && hash_match && check_failures == 0;
+    }
+
+    /** Structured outcome: "ok" | "timeout" | "failed". */
+    const char *outcome() const
+    {
+        return ok() ? "ok" : timed_out ? "timeout" : "failed";
     }
 };
 
@@ -59,6 +67,8 @@ struct CampaignReport
     /** Did every point reproduce the reference cleanly? */
     bool clean() const;
     int failed_points() const;
+    /** Points that hit their wall-clock budget (subset of failed). */
+    int timeout_points() const;
     /** Machine-readable report (schema in docs/robustness.md). */
     std::string to_json() const;
     /** One-paragraph human summary. */
@@ -78,12 +88,18 @@ FaultConfig campaign_point(uint64_t base_seed, int index);
  * Run an @p n_points campaign of @p bench on @p machine with
  * @p jobs workers (0 = hardware concurrency).  Compiles once;
  * never throws for per-point failures.
+ *
+ * @p point_timeout_ms > 0 bounds each point's *wall-clock* time
+ * (--point-timeout): a pathological point is cut off inside the
+ * simulator (SimTimeoutError) and reported as a structured "timeout"
+ * outcome instead of stalling the whole sweep behind one worker.
  */
 CampaignReport run_fault_campaign(const std::string &bench,
                                   const MachineConfig &machine,
                                   int n_points, uint64_t base_seed,
                                   int jobs,
-                                  const CompilerOptions &opts = {});
+                                  const CompilerOptions &opts = {},
+                                  int64_t point_timeout_ms = 0);
 
 } // namespace raw
 

@@ -1,9 +1,11 @@
 #include "rawcc/schedcache.hpp"
 
+#include <fcntl.h>
 #include <unistd.h>
 
 #include <algorithm>
 #include <atomic>
+#include <chrono>
 #include <cinttypes>
 #include <cstdio>
 #include <cstring>
@@ -668,20 +670,36 @@ write_entry_file(const std::string &path, const std::string &body_in)
     std::snprintf(crc, sizeof(crc), "crc %016" PRIx64 "\n",
                   fnv1a64(body));
     body += crc;
-    // Unique temp + rename keeps readers from ever seeing a partial
-    // file, and concurrent writers of the same key are idempotent.
+    // Crash-safe publish: write a per-writer unique temp file in the
+    // same directory, fdatasync it, then atomically rename(2) into
+    // place.  A reader can never observe a torn entry (the name only
+    // exists once the bytes do), concurrent writers of the same key
+    // are idempotent (identical payloads, last rename wins), and a
+    // process killed mid-write leaves only a stale .tmp — swept by
+    // validate_cache_dir, never mistaken for an entry.
     static std::atomic<uint64_t> seq{0};
     std::string tmp = path + ".tmp" +
                       std::to_string(static_cast<uint64_t>(getpid())) +
                       "." + std::to_string(seq.fetch_add(1));
-    {
-        std::ofstream out(tmp, std::ios::binary);
-        if (!out)
+    int fd = ::open(tmp.c_str(), O_WRONLY | O_CREAT | O_EXCL, 0644);
+    if (fd < 0)
+        return false;
+    size_t off = 0;
+    while (off < body.size()) {
+        ssize_t n = ::write(fd, body.data() + off, body.size() - off);
+        if (n <= 0) {
+            ::close(fd);
+            ::unlink(tmp.c_str());
             return false;
-        out.write(body.data(),
-                  static_cast<std::streamsize>(body.size()));
-        if (!out)
-            return false;
+        }
+        off += static_cast<size_t>(n);
+    }
+    // Data must hit the disk before the rename publishes the name;
+    // otherwise a power cut can leave a fully-named, half-written
+    // entry that only the CRC catches (as a counted drop).
+    if (::fdatasync(fd) != 0 || ::close(fd) != 0) {
+        ::unlink(tmp.c_str());
+        return false;
     }
     std::error_code ec;
     std::filesystem::rename(tmp, path, ec);
@@ -1141,6 +1159,25 @@ validate_cache_dir(const std::string &dir)
             fatal("--cache-dir: '" + dir + "' is not writable");
     }
     std::filesystem::remove(probe, ec);
+
+    // Sweep temp files orphaned by killed writers.  Only temps that
+    // have sat untouched for a while are removed: a live writer's
+    // temp exists for milliseconds, so an age threshold keeps the
+    // sweep safe under concurrent processes sharing the directory.
+    const auto cutoff = std::filesystem::file_time_type::clock::now() -
+                        std::chrono::minutes(10);
+    for (const auto &ent :
+         std::filesystem::directory_iterator(dir, ec)) {
+        if (ec)
+            break;
+        const std::string name = ent.path().filename().string();
+        if (name.find(".rsc.tmp") == std::string::npos)
+            continue;
+        std::error_code tec;
+        auto mtime = std::filesystem::last_write_time(ent.path(), tec);
+        if (!tec && mtime < cutoff)
+            std::filesystem::remove(ent.path(), tec);
+    }
 }
 
 } // namespace raw

@@ -1,0 +1,289 @@
+#include "serve/client.hpp"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <poll.h>
+#include <signal.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <chrono>
+#include <cstdlib>
+#include <cstring>
+#include <thread>
+
+#include "support/error.hpp"
+
+namespace raw {
+namespace serve {
+
+using Clock = std::chrono::steady_clock;
+
+ServeClient::~ServeClient() { close(); }
+
+void
+ServeClient::close()
+{
+    if (fd_ >= 0) {
+        ::close(fd_);
+        fd_ = -1;
+    }
+    buf_.clear();
+}
+
+void
+ServeClient::connect(const std::string &endpoint)
+{
+    close();
+    int fd = -1;
+    if (endpoint.rfind("unix:", 0) == 0) {
+        std::string path = endpoint.substr(5);
+        sockaddr_un addr;
+        std::memset(&addr, 0, sizeof addr);
+        addr.sun_family = AF_UNIX;
+        if (path.size() >= sizeof addr.sun_path)
+            throw FatalError("socket path too long: " + path);
+        std::strncpy(addr.sun_path, path.c_str(),
+                     sizeof addr.sun_path - 1);
+        fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+        if (fd < 0)
+            throw FatalError("socket(): " +
+                             std::string(std::strerror(errno)));
+        if (::connect(fd, reinterpret_cast<sockaddr *>(&addr),
+                      sizeof addr) != 0) {
+            int e = errno;
+            ::close(fd);
+            throw FatalError("connect(" + path +
+                             "): " + std::strerror(e));
+        }
+    } else if (endpoint.rfind("tcp:", 0) == 0) {
+        std::string hostport = endpoint.substr(4);
+        size_t colon = hostport.rfind(':');
+        if (colon == std::string::npos)
+            throw FatalError("bad tcp endpoint: " + endpoint);
+        std::string host = hostport.substr(0, colon);
+        int port = std::atoi(hostport.c_str() + colon + 1);
+        sockaddr_in addr;
+        std::memset(&addr, 0, sizeof addr);
+        addr.sin_family = AF_INET;
+        addr.sin_port = htons(static_cast<uint16_t>(port));
+        if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1)
+            throw FatalError("bad tcp host: " + host);
+        fd = ::socket(AF_INET, SOCK_STREAM, 0);
+        if (fd < 0)
+            throw FatalError("socket(): " +
+                             std::string(std::strerror(errno)));
+        if (::connect(fd, reinterpret_cast<sockaddr *>(&addr),
+                      sizeof addr) != 0) {
+            int e = errno;
+            ::close(fd);
+            throw FatalError("connect(" + hostport +
+                             "): " + std::strerror(e));
+        }
+    } else {
+        throw FatalError("endpoint must be unix:PATH or "
+                         "tcp:HOST:PORT, got " +
+                         endpoint);
+    }
+    fd_ = fd;
+}
+
+void
+ServeClient::send_line(const std::string &line)
+{
+    if (fd_ < 0)
+        throw FatalError("not connected");
+    std::string out = line;
+    out.push_back('\n');
+    size_t off = 0;
+    while (off < out.size()) {
+        ssize_t n = ::send(fd_, out.data() + off, out.size() - off,
+                           MSG_NOSIGNAL);
+        if (n <= 0) {
+            if (n < 0 && errno == EINTR)
+                continue;
+            throw FatalError("send(): " +
+                             std::string(std::strerror(errno)));
+        }
+        off += static_cast<size_t>(n);
+    }
+}
+
+bool
+ServeClient::recv_line(std::string &out, int64_t timeout_ms)
+{
+    Clock::time_point deadline =
+        Clock::now() + std::chrono::milliseconds(timeout_ms);
+    for (;;) {
+        size_t nl = buf_.find('\n');
+        if (nl != std::string::npos) {
+            out = buf_.substr(0, nl);
+            buf_.erase(0, nl + 1);
+            return true;
+        }
+        if (timeout_ms > 0) {
+            auto left = std::chrono::duration_cast<
+                            std::chrono::milliseconds>(deadline -
+                                                       Clock::now())
+                            .count();
+            if (left <= 0)
+                throw FatalError("timed out waiting for reply");
+            pollfd pfd{fd_, POLLIN, 0};
+            int rc = ::poll(&pfd, 1, static_cast<int>(left));
+            if (rc < 0 && errno != EINTR)
+                throw FatalError("poll(): " +
+                                 std::string(std::strerror(errno)));
+            if (rc == 0)
+                throw FatalError("timed out waiting for reply");
+        }
+        char chunk[16384];
+        ssize_t n = ::recv(fd_, chunk, sizeof chunk, 0);
+        if (n < 0 && errno == EINTR)
+            continue;
+        if (n <= 0)
+            return false;
+        buf_.append(chunk, static_cast<size_t>(n));
+    }
+}
+
+Json
+ServeClient::request(const std::string &line, int64_t timeout_ms)
+{
+    send_line(line);
+    std::string reply;
+    if (!recv_line(reply, timeout_ms))
+        throw FatalError("connection closed before reply");
+    Json j;
+    std::string err;
+    if (!json_parse(reply, j, err))
+        throw FatalError("bad reply JSON (" + err + "): " + reply);
+    return j;
+}
+
+// ---------------------------------------------------------------
+// ServeDaemon
+// ---------------------------------------------------------------
+
+ServeDaemon::~ServeDaemon()
+{
+    if (pid_ > 0) {
+        ::kill(pid_, SIGKILL);
+        int status;
+        ::waitpid(pid_, &status, 0);
+    }
+    if (stdout_fd_ >= 0)
+        ::close(stdout_fd_);
+}
+
+void
+ServeDaemon::start(const std::string &rawcc_bin,
+                   const std::vector<std::string> &args,
+                   int64_t start_timeout_ms)
+{
+    int pipefd[2];
+    if (::pipe(pipefd) != 0)
+        throw FatalError("pipe(): " +
+                         std::string(std::strerror(errno)));
+    int pid = ::fork();
+    if (pid < 0)
+        throw FatalError("fork(): " +
+                         std::string(std::strerror(errno)));
+    if (pid == 0) {
+        ::close(pipefd[0]);
+        ::dup2(pipefd[1], STDOUT_FILENO);
+        ::close(pipefd[1]);
+        std::vector<char *> argv;
+        argv.push_back(const_cast<char *>(rawcc_bin.c_str()));
+        static const char *kServe = "serve";
+        argv.push_back(const_cast<char *>(kServe));
+        for (const auto &a : args)
+            argv.push_back(const_cast<char *>(a.c_str()));
+        argv.push_back(nullptr);
+        ::execv(rawcc_bin.c_str(), argv.data());
+        std::perror("execv");
+        ::_exit(127);
+    }
+    ::close(pipefd[1]);
+    pid_ = pid;
+    stdout_fd_ = pipefd[0];
+
+    // Wait for the readiness line: "listening on <endpoint> ...".
+    std::string buf;
+    Clock::time_point deadline =
+        Clock::now() + std::chrono::milliseconds(start_timeout_ms);
+    for (;;) {
+        size_t nl = buf.find('\n');
+        if (nl != std::string::npos) {
+            std::string line = buf.substr(0, nl);
+            size_t at = line.find("listening on ");
+            if (at != std::string::npos) {
+                std::string rest = line.substr(at + 13);
+                size_t sp = rest.find(' ');
+                endpoint_ = sp == std::string::npos
+                                ? rest
+                                : rest.substr(0, sp);
+                return;
+            }
+            buf.erase(0, nl + 1);
+            continue;
+        }
+        auto left = std::chrono::duration_cast<
+                        std::chrono::milliseconds>(deadline -
+                                                   Clock::now())
+                        .count();
+        if (left <= 0)
+            throw FatalError("daemon did not become ready in time");
+        pollfd pfd{stdout_fd_, POLLIN, 0};
+        int rc = ::poll(&pfd, 1, static_cast<int>(left));
+        if (rc <= 0)
+            throw FatalError("daemon did not become ready in time");
+        char chunk[4096];
+        ssize_t n = ::read(stdout_fd_, chunk, sizeof chunk);
+        if (n <= 0)
+            throw FatalError(
+                "daemon exited before becoming ready");
+        buf.append(chunk, static_cast<size_t>(n));
+    }
+}
+
+void
+ServeDaemon::kill_with(int signo)
+{
+    if (pid_ > 0)
+        ::kill(pid_, signo);
+}
+
+int
+ServeDaemon::stop(int64_t wait_timeout_ms)
+{
+    if (pid_ <= 0)
+        return -1;
+    ::kill(pid_, SIGTERM);
+    Clock::time_point deadline =
+        Clock::now() + std::chrono::milliseconds(wait_timeout_ms);
+    int status = 0;
+    for (;;) {
+        int rc = ::waitpid(pid_, &status, WNOHANG);
+        if (rc == pid_)
+            break;
+        if (rc < 0) {
+            pid_ = -1;
+            return -1;
+        }
+        if (Clock::now() >= deadline) {
+            ::kill(pid_, SIGKILL);
+            ::waitpid(pid_, &status, 0);
+            break;
+        }
+        std::this_thread::sleep_for(std::chrono::milliseconds(5));
+    }
+    pid_ = -1;
+    if (WIFEXITED(status))
+        return WEXITSTATUS(status);
+    return -1;
+}
+
+} // namespace serve
+} // namespace raw

@@ -1,0 +1,91 @@
+#ifndef RAW_SERVE_CLIENT_HPP
+#define RAW_SERVE_CLIENT_HPP
+
+/**
+ * @file
+ * Blocking line-protocol client for `rawcc serve`, shared by the
+ * load generator (bench/bench_serve.cpp) and the end-to-end smoke
+ * test (tests/test_serve_cli.cpp).  Also a small daemon-process
+ * helper that forks `rawcc serve`, waits for its readiness line, and
+ * shuts it down with SIGTERM — exactly the lifecycle a supervisor
+ * would drive.
+ */
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "serve/json.hpp"
+
+namespace raw {
+namespace serve {
+
+/** One blocking connection to a serve daemon. */
+class ServeClient
+{
+  public:
+    ServeClient() = default;
+    ~ServeClient();
+    ServeClient(const ServeClient &) = delete;
+    ServeClient &operator=(const ServeClient &) = delete;
+
+    /**
+     * Connect to "unix:PATH" or "tcp:HOST:PORT" (the daemon's
+     * readiness-line syntax).  Throws FatalError on failure.
+     */
+    void connect(const std::string &endpoint);
+
+    bool connected() const { return fd_ >= 0; }
+    void close();
+
+    /** Send one request line (no trailing newline needed). */
+    void send_line(const std::string &line);
+
+    /**
+     * Receive the next reply line; false on EOF.  @p timeout_ms
+     * bounds the wait (0 = forever); expiry throws FatalError.
+     */
+    bool recv_line(std::string &out, int64_t timeout_ms = 0);
+
+    /** send_line + recv_line + json_parse; throws on protocol error. */
+    Json request(const std::string &line, int64_t timeout_ms = 30000);
+
+  private:
+    int fd_ = -1;
+    std::string buf_;
+};
+
+/** A forked `rawcc serve` process under test/bench control. */
+class ServeDaemon
+{
+  public:
+    ~ServeDaemon();
+
+    /**
+     * Fork+exec `<rawcc_bin> serve <args...>` and block until the
+     * daemon prints its readiness line.  Throws FatalError if the
+     * process dies or stays silent for @p start_timeout_ms.
+     */
+    void start(const std::string &rawcc_bin,
+               const std::vector<std::string> &args,
+               int64_t start_timeout_ms = 15000);
+
+    /** Endpoint from the readiness line ("unix:..." / "tcp:..."). */
+    const std::string &endpoint() const { return endpoint_; }
+    int pid() const { return pid_; }
+
+    /** SIGTERM + waitpid; returns the exit code (-1 on signal). */
+    int stop(int64_t wait_timeout_ms = 15000);
+    /** Send a signal without waiting. */
+    void kill_with(int signo);
+
+  private:
+    int pid_ = -1;
+    int stdout_fd_ = -1;
+    std::string endpoint_;
+};
+
+} // namespace serve
+} // namespace raw
+
+#endif // RAW_SERVE_CLIENT_HPP

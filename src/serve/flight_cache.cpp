@@ -1,0 +1,213 @@
+#include "serve/flight_cache.hpp"
+
+#include <cstdio>
+
+namespace raw {
+namespace serve {
+
+std::string
+Digest::hex() const
+{
+    char buf[36];
+    std::snprintf(buf, sizeof buf, "%016llx%016llx",
+                  static_cast<unsigned long long>(h1),
+                  static_cast<unsigned long long>(h2));
+    return buf;
+}
+
+Digest
+digest_bytes(const std::string &s)
+{
+    // Two FNV-1a streams with independent offset bases; the second
+    // also folds in the position so transpositions diverge.
+    uint64_t h1 = 14695981039346656037ull;
+    uint64_t h2 = 0x9ae16a3b2f90404full;
+    uint64_t i = 0;
+    for (unsigned char c : s) {
+        h1 = (h1 ^ c) * 1099511628211ull;
+        h2 = (h2 ^ (c + (++i << 8))) * 1099511628211ull;
+    }
+    h1 = (h1 ^ s.size()) * 1099511628211ull;
+    return Digest{h1, h2};
+}
+
+const char *
+flight_outcome_name(FlightOutcome o)
+{
+    switch (o) {
+      case FlightOutcome::kHit: return "hit";
+      case FlightOutcome::kLeader: return "miss";
+      case FlightOutcome::kWaited: return "wait";
+      case FlightOutcome::kTimeout: return "wait_timeout";
+    }
+    return "?";
+}
+
+int64_t
+approx_output_bytes(const CompileOutput &out)
+{
+    // Dominant cost is the per-tile instruction streams plus the
+    // source kept alive by fn; exact accounting doesn't matter, the
+    // estimate only steers LRU eviction.
+    int64_t bytes = static_cast<int64_t>(sizeof(CompileOutput));
+    for (const auto &tile : out.program.tiles)
+        bytes += static_cast<int64_t>(tile.code.size()) * 96;
+    for (const auto &sw : out.program.switches)
+        bytes += static_cast<int64_t>(sw.code.size()) * 48;
+    bytes += static_cast<int64_t>(out.fn.blocks.size()) * 256;
+    return bytes;
+}
+
+FlightCache::FlightCache(size_t max_entries, int64_t max_bytes)
+    : max_entries_(max_entries ? max_entries : 1),
+      max_bytes_(max_bytes > 0 ? max_bytes : (1 << 20))
+{
+}
+
+void
+FlightCache::touch_locked(Entry &e, const Digest &key)
+{
+    (void)key;
+    lru_.splice(lru_.begin(), lru_, e.lru_it);
+}
+
+void
+FlightCache::insert_locked(const Digest &key, const Value &v)
+{
+    auto it = map_.find(key);
+    if (it != map_.end()) {
+        // A racing leader already published; keep the existing entry.
+        touch_locked(it->second, key);
+        return;
+    }
+    Entry e;
+    e.value = v;
+    e.bytes = approx_output_bytes(*v);
+    lru_.push_front(key);
+    e.lru_it = lru_.begin();
+    stats_.bytes += e.bytes;
+    map_.emplace(key, std::move(e));
+    stats_.entries = static_cast<int64_t>(map_.size());
+    // Evict cold entries until both caps hold (never the one just
+    // inserted — it is at the LRU head).
+    while (map_.size() > 1 &&
+           (map_.size() > max_entries_ || stats_.bytes > max_bytes_)) {
+        const Digest victim = lru_.back();
+        auto vit = map_.find(victim);
+        stats_.bytes -= vit->second.bytes;
+        lru_.pop_back();
+        map_.erase(vit);
+        stats_.evictions++;
+    }
+    stats_.entries = static_cast<int64_t>(map_.size());
+}
+
+FlightCache::Value
+FlightCache::peek(const Digest &key)
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = map_.find(key);
+    if (it == map_.end())
+        return nullptr;
+    touch_locked(it->second, key);
+    return it->second.value;
+}
+
+FlightCache::Value
+FlightCache::get_or_compute(
+    const Digest &key, const Compute &compute,
+    std::chrono::steady_clock::time_point deadline,
+    FlightOutcome &outcome)
+{
+    std::unique_lock<std::mutex> lock(mu_);
+    for (;;) {
+        auto it = map_.find(key);
+        if (it != map_.end()) {
+            stats_.hits++;
+            touch_locked(it->second, key);
+            outcome = FlightOutcome::kHit;
+            return it->second.value;
+        }
+
+        auto fit = flights_.find(key);
+        if (fit == flights_.end()) {
+            // No flight in progress: this caller is the leader.
+            auto fl = std::make_shared<Flight>();
+            flights_.emplace(key, fl);
+            stats_.misses++;
+            lock.unlock();
+
+            Value v;
+            try {
+                v = compute();
+            } catch (...) {
+                // Leader failed.  The error is NOT cached: tear the
+                // flight down, hand leadership off to a waiter (one
+                // of them loops back and retries), and rethrow to
+                // this caller only.
+                lock.lock();
+                stats_.leader_failures++;
+                flights_.erase(key);
+                fl->failed = true;
+                fl->done = true;
+                lock.unlock();
+                fl->cv.notify_all();
+                throw;
+            }
+
+            lock.lock();
+            stats_.compiles++;
+            if (v)
+                insert_locked(key, v);
+            flights_.erase(key);
+            fl->value = v;
+            fl->done = true;
+            lock.unlock();
+            fl->cv.notify_all();
+            outcome = FlightOutcome::kLeader;
+            return v;
+        }
+
+        // Flight in progress: wait for the leader (bounded by the
+        // caller's deadline; the flight itself keeps running).
+        auto fl = fit->second;
+        bool finished = fl->cv.wait_until(
+            lock, deadline, [&] { return fl->done; });
+        if (!finished) {
+            stats_.wait_timeouts++;
+            outcome = FlightOutcome::kTimeout;
+            return nullptr;
+        }
+        if (fl->failed) {
+            // Leader threw; this waiter retries from the top.  The
+            // flights_ entry is already gone, so exactly one waiter
+            // wins the race to become the new leader — the rest
+            // re-queue behind the fresh flight.
+            stats_.retries++;
+            continue;
+        }
+        stats_.waits++;
+        outcome = FlightOutcome::kWaited;
+        return fl->value;
+    }
+}
+
+FlightCache::Stats
+FlightCache::stats() const
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    return stats_;
+}
+
+void
+FlightCache::clear()
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    map_.clear();
+    lru_.clear();
+    stats_.entries = 0;
+    stats_.bytes = 0;
+}
+
+} // namespace serve
+} // namespace raw

@@ -1,0 +1,473 @@
+#include "serve/json.hpp"
+
+#include <cerrno>
+#include <cmath>
+#include <cstdio>
+#include <cstring>
+
+namespace raw {
+namespace serve {
+
+const Json *
+Json::find(const std::string &key) const
+{
+    if (kind != Kind::kObject)
+        return nullptr;
+    for (const auto &kv : object)
+        if (kv.first == key)
+            return &kv.second;
+    return nullptr;
+}
+
+std::string
+Json::str_or(const std::string &key, const std::string &dflt) const
+{
+    const Json *v = find(key);
+    return v && v->kind == Kind::kString ? v->string : dflt;
+}
+
+int64_t
+Json::int_or(const std::string &key, int64_t dflt) const
+{
+    const Json *v = find(key);
+    if (!v || v->kind != Kind::kNumber)
+        return dflt;
+    return v->is_int ? v->integer : static_cast<int64_t>(v->number);
+}
+
+double
+Json::num_or(const std::string &key, double dflt) const
+{
+    const Json *v = find(key);
+    return v && v->kind == Kind::kNumber ? v->number : dflt;
+}
+
+bool
+Json::bool_or(const std::string &key, bool dflt) const
+{
+    const Json *v = find(key);
+    return v && v->kind == Kind::kBool ? v->boolean : dflt;
+}
+
+// ---------------------------------------------------------------
+// Parser: recursive descent, depth-capped, error strings not throws.
+// ---------------------------------------------------------------
+
+namespace {
+
+constexpr int kMaxDepth = 32;
+
+struct Parser
+{
+    const char *p;
+    const char *end;
+    std::string err;
+
+    bool
+    fail(const char *what)
+    {
+        if (err.empty()) {
+            err = what;
+            err += " at offset ";
+            err += std::to_string(pos());
+        }
+        return false;
+    }
+
+    size_t pos() const { return static_cast<size_t>(p - begin_); }
+    const char *begin_;
+
+    void
+    ws()
+    {
+        while (p < end && (*p == ' ' || *p == '\t' || *p == '\n' ||
+                           *p == '\r'))
+            p++;
+    }
+
+    bool
+    lit(const char *s, size_t n)
+    {
+        if (static_cast<size_t>(end - p) < n ||
+            std::memcmp(p, s, n) != 0)
+            return false;
+        p += n;
+        return true;
+    }
+
+    /** Append code point @p cp to @p out as UTF-8. */
+    static void
+    utf8(std::string &out, uint32_t cp)
+    {
+        if (cp < 0x80) {
+            out.push_back(static_cast<char>(cp));
+        } else if (cp < 0x800) {
+            out.push_back(static_cast<char>(0xC0 | (cp >> 6)));
+            out.push_back(static_cast<char>(0x80 | (cp & 0x3F)));
+        } else if (cp < 0x10000) {
+            out.push_back(static_cast<char>(0xE0 | (cp >> 12)));
+            out.push_back(
+                static_cast<char>(0x80 | ((cp >> 6) & 0x3F)));
+            out.push_back(static_cast<char>(0x80 | (cp & 0x3F)));
+        } else {
+            out.push_back(static_cast<char>(0xF0 | (cp >> 18)));
+            out.push_back(
+                static_cast<char>(0x80 | ((cp >> 12) & 0x3F)));
+            out.push_back(
+                static_cast<char>(0x80 | ((cp >> 6) & 0x3F)));
+            out.push_back(static_cast<char>(0x80 | (cp & 0x3F)));
+        }
+    }
+
+    bool
+    hex4(uint32_t &v)
+    {
+        v = 0;
+        for (int k = 0; k < 4; k++) {
+            if (p >= end)
+                return false;
+            char c = *p++;
+            int d = c >= '0' && c <= '9'   ? c - '0'
+                    : c >= 'a' && c <= 'f' ? c - 'a' + 10
+                    : c >= 'A' && c <= 'F' ? c - 'A' + 10
+                                           : -1;
+            if (d < 0)
+                return false;
+            v = (v << 4) | static_cast<uint32_t>(d);
+        }
+        return true;
+    }
+
+    bool
+    string_body(std::string &out)
+    {
+        // Caller consumed the opening quote.
+        for (;;) {
+            if (p >= end)
+                return fail("unterminated string");
+            unsigned char c = static_cast<unsigned char>(*p++);
+            if (c == '"')
+                return true;
+            if (c < 0x20)
+                return fail("raw control character in string");
+            if (c != '\\') {
+                out.push_back(static_cast<char>(c));
+                continue;
+            }
+            if (p >= end)
+                return fail("unterminated escape");
+            char e = *p++;
+            switch (e) {
+              case '"': out.push_back('"'); break;
+              case '\\': out.push_back('\\'); break;
+              case '/': out.push_back('/'); break;
+              case 'b': out.push_back('\b'); break;
+              case 'f': out.push_back('\f'); break;
+              case 'n': out.push_back('\n'); break;
+              case 'r': out.push_back('\r'); break;
+              case 't': out.push_back('\t'); break;
+              case 'u': {
+                  uint32_t cp;
+                  if (!hex4(cp))
+                      return fail("bad \\u escape");
+                  // Surrogate pair: a high surrogate must be
+                  // followed by \u + low surrogate.
+                  if (cp >= 0xD800 && cp <= 0xDBFF) {
+                      uint32_t lo;
+                      if (!lit("\\u", 2) || !hex4(lo) ||
+                          lo < 0xDC00 || lo > 0xDFFF)
+                          return fail("bad surrogate pair");
+                      cp = 0x10000 + ((cp - 0xD800) << 10) +
+                           (lo - 0xDC00);
+                  } else if (cp >= 0xDC00 && cp <= 0xDFFF) {
+                      return fail("stray low surrogate");
+                  }
+                  utf8(out, cp);
+                  break;
+              }
+              default:
+                return fail("unknown escape");
+            }
+        }
+    }
+
+    bool
+    number(Json &out)
+    {
+        const char *start = p;
+        if (p < end && *p == '-')
+            p++;
+        bool any = false;
+        while (p < end && *p >= '0' && *p <= '9') {
+            p++;
+            any = true;
+        }
+        bool integral = true;
+        if (p < end && *p == '.') {
+            integral = false;
+            p++;
+            bool frac = false;
+            while (p < end && *p >= '0' && *p <= '9') {
+                p++;
+                frac = true;
+            }
+            if (!frac)
+                return fail("bad number");
+        }
+        if (p < end && (*p == 'e' || *p == 'E')) {
+            integral = false;
+            p++;
+            if (p < end && (*p == '+' || *p == '-'))
+                p++;
+            bool ex = false;
+            while (p < end && *p >= '0' && *p <= '9') {
+                p++;
+                ex = true;
+            }
+            if (!ex)
+                return fail("bad exponent");
+        }
+        if (!any)
+            return fail("bad number");
+        std::string tok(start, static_cast<size_t>(p - start));
+        out.kind = Json::Kind::kNumber;
+        out.number = std::strtod(tok.c_str(), nullptr);
+        if (integral) {
+            errno = 0;
+            long long v = std::strtoll(tok.c_str(), nullptr, 10);
+            if (errno != ERANGE) {
+                out.integer = v;
+                out.is_int = true;
+            }
+        }
+        if (!out.is_int)
+            out.integer = static_cast<int64_t>(out.number);
+        return true;
+    }
+
+    bool
+    value(Json &out, int depth)
+    {
+        if (depth > kMaxDepth)
+            return fail("nesting too deep");
+        ws();
+        if (p >= end)
+            return fail("unexpected end of input");
+        char c = *p;
+        if (c == '{') {
+            p++;
+            out.kind = Json::Kind::kObject;
+            ws();
+            if (p < end && *p == '}') {
+                p++;
+                return true;
+            }
+            for (;;) {
+                ws();
+                if (p >= end || *p != '"')
+                    return fail("expected object key");
+                p++;
+                std::string key;
+                if (!string_body(key))
+                    return false;
+                ws();
+                if (p >= end || *p++ != ':')
+                    return fail("expected ':'");
+                Json v;
+                if (!value(v, depth + 1))
+                    return false;
+                out.object.emplace_back(std::move(key),
+                                        std::move(v));
+                ws();
+                if (p >= end)
+                    return fail("unterminated object");
+                char d = *p++;
+                if (d == '}')
+                    return true;
+                if (d != ',')
+                    return fail("expected ',' or '}'");
+            }
+        }
+        if (c == '[') {
+            p++;
+            out.kind = Json::Kind::kArray;
+            ws();
+            if (p < end && *p == ']') {
+                p++;
+                return true;
+            }
+            for (;;) {
+                Json v;
+                if (!value(v, depth + 1))
+                    return false;
+                out.array.push_back(std::move(v));
+                ws();
+                if (p >= end)
+                    return fail("unterminated array");
+                char d = *p++;
+                if (d == ']')
+                    return true;
+                if (d != ',')
+                    return fail("expected ',' or ']'");
+            }
+        }
+        if (c == '"') {
+            p++;
+            out.kind = Json::Kind::kString;
+            return string_body(out.string);
+        }
+        if (c == 't') {
+            if (!lit("true", 4))
+                return fail("bad literal");
+            out.kind = Json::Kind::kBool;
+            out.boolean = true;
+            return true;
+        }
+        if (c == 'f') {
+            if (!lit("false", 5))
+                return fail("bad literal");
+            out.kind = Json::Kind::kBool;
+            out.boolean = false;
+            return true;
+        }
+        if (c == 'n') {
+            if (!lit("null", 4))
+                return fail("bad literal");
+            out.kind = Json::Kind::kNull;
+            return true;
+        }
+        return number(out);
+    }
+};
+
+} // namespace
+
+bool
+json_parse(const std::string &text, Json &out, std::string &err)
+{
+    Parser ps;
+    ps.p = text.data();
+    ps.begin_ = text.data();
+    ps.end = text.data() + text.size();
+    out = Json();
+    if (!ps.value(out, 0)) {
+        err = ps.err.empty() ? "malformed JSON" : ps.err;
+        return false;
+    }
+    ps.ws();
+    if (ps.p != ps.end) {
+        ps.fail("trailing garbage");
+        err = ps.err;
+        return false;
+    }
+    return true;
+}
+
+std::string
+json_quote(const std::string &s)
+{
+    std::string out;
+    out.reserve(s.size() + 2);
+    out.push_back('"');
+    for (unsigned char c : s) {
+        switch (c) {
+          case '"': out += "\\\""; break;
+          case '\\': out += "\\\\"; break;
+          case '\n': out += "\\n"; break;
+          case '\r': out += "\\r"; break;
+          case '\t': out += "\\t"; break;
+          default:
+            if (c < 0x20) {
+                char buf[8];
+                std::snprintf(buf, sizeof buf, "\\u%04x", c);
+                out += buf;
+            } else {
+                out.push_back(static_cast<char>(c));
+            }
+        }
+    }
+    out.push_back('"');
+    return out;
+}
+
+// ---------------------------------------------------------------
+// JsonBuilder
+// ---------------------------------------------------------------
+
+void
+JsonBuilder::key(const char *k)
+{
+    if (!first_)
+        s_.push_back(',');
+    first_ = false;
+    s_ += json_quote(k);
+    s_.push_back(':');
+}
+
+JsonBuilder &
+JsonBuilder::kv(const char *k, const std::string &v)
+{
+    key(k);
+    s_ += json_quote(v);
+    return *this;
+}
+
+JsonBuilder &
+JsonBuilder::kv(const char *k, const char *v)
+{
+    key(k);
+    s_ += json_quote(v);
+    return *this;
+}
+
+JsonBuilder &
+JsonBuilder::kv(const char *k, int64_t v)
+{
+    key(k);
+    s_ += std::to_string(v);
+    return *this;
+}
+
+JsonBuilder &
+JsonBuilder::kv(const char *k, double v)
+{
+    key(k);
+    if (std::isfinite(v)) {
+        char buf[32];
+        std::snprintf(buf, sizeof buf, "%.6g", v);
+        s_ += buf;
+    } else {
+        // JSON has no inf/nan; null keeps the reply parseable.
+        s_ += "null";
+    }
+    return *this;
+}
+
+JsonBuilder &
+JsonBuilder::kv(const char *k, bool v)
+{
+    key(k);
+    s_ += v ? "true" : "false";
+    return *this;
+}
+
+JsonBuilder &
+JsonBuilder::raw(const char *k, const std::string &v)
+{
+    key(k);
+    s_ += v;
+    return *this;
+}
+
+std::string
+JsonBuilder::str()
+{
+    if (!done_) {
+        s_.push_back('}');
+        done_ = true;
+    }
+    return s_;
+}
+
+} // namespace serve
+} // namespace raw

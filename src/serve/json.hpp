@@ -1,0 +1,114 @@
+#ifndef RAW_SERVE_JSON_HPP
+#define RAW_SERVE_JSON_HPP
+
+/**
+ * @file
+ * Minimal JSON for the serve daemon's line-delimited protocol.
+ *
+ * The daemon speaks one JSON object per line in both directions
+ * (docs/serve.md), over sockets fed by arbitrary clients — so the
+ * parser is written for hostile input: strict grammar, a recursion
+ * depth cap, no allocation proportional to anything but the input
+ * size, and every failure is a clean error string, never a throw.
+ * It supports exactly the JSON subset the protocol needs: objects,
+ * arrays, strings (with escapes incl. \uXXXX), numbers, bools, null.
+ *
+ * Emission goes through JsonBuilder, which produces a flat object
+ * incrementally; replies never nest more than two levels, so a
+ * builder beats a value tree on the reply hot path.
+ */
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace raw {
+namespace serve {
+
+/** One parsed JSON value (tree). */
+class Json
+{
+  public:
+    enum class Kind : uint8_t {
+        kNull,
+        kBool,
+        kNumber,
+        kString,
+        kArray,
+        kObject
+    };
+
+    Kind kind = Kind::kNull;
+    bool boolean = false;
+    /** Numbers keep both views; is_int marks a lossless integer. */
+    double number = 0.0;
+    int64_t integer = 0;
+    bool is_int = false;
+    std::string string;
+    std::vector<Json> array;
+    std::vector<std::pair<std::string, Json>> object;
+
+    bool is_object() const { return kind == Kind::kObject; }
+    bool is_string() const { return kind == Kind::kString; }
+    bool is_number() const { return kind == Kind::kNumber; }
+    bool is_bool() const { return kind == Kind::kBool; }
+
+    /** Object member lookup; nullptr when absent or not an object. */
+    const Json *find(const std::string &key) const;
+
+    /** Typed accessors with defaults (non-matching kind = default). */
+    std::string str_or(const std::string &key,
+                       const std::string &dflt) const;
+    int64_t int_or(const std::string &key, int64_t dflt) const;
+    double num_or(const std::string &key, double dflt) const;
+    bool bool_or(const std::string &key, bool dflt) const;
+};
+
+/**
+ * Parse one complete JSON value from @p text (trailing whitespace
+ * allowed, anything else after the value is an error).  Returns false
+ * and fills @p err on malformed input; never throws.
+ */
+bool json_parse(const std::string &text, Json &out, std::string &err);
+
+/** Quote + escape @p s as a JSON string literal. */
+std::string json_quote(const std::string &s);
+
+/**
+ * Incremental flat-object builder for protocol replies:
+ *   JsonBuilder b; b.kv("ok", true).kv("cycles", n); b.str();
+ * Nested objects via raw(): b.raw("error", sub.str()).
+ */
+class JsonBuilder
+{
+  public:
+    JsonBuilder() : s_("{") {}
+
+    JsonBuilder &kv(const char *k, const std::string &v);
+    JsonBuilder &kv(const char *k, const char *v);
+    JsonBuilder &kv(const char *k, int64_t v);
+    JsonBuilder &kv(const char *k, int v) noexcept
+    {
+        return kv(k, static_cast<int64_t>(v));
+    }
+    JsonBuilder &kv(const char *k, double v);
+    JsonBuilder &kv(const char *k, bool v);
+    /** Pre-serialized value (nested object/array or raw token). */
+    JsonBuilder &raw(const char *k, const std::string &v);
+
+    /** Finish and return the object text (single line, no '\n'). */
+    std::string str();
+
+  private:
+    void key(const char *k);
+    std::string s_;
+    bool first_ = true;
+    bool done_ = false;
+};
+
+} // namespace serve
+} // namespace raw
+
+#endif // RAW_SERVE_JSON_HPP

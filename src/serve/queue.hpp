@@ -1,0 +1,133 @@
+#ifndef RAW_SERVE_QUEUE_HPP
+#define RAW_SERVE_QUEUE_HPP
+
+/**
+ * @file
+ * Bounded admission-controlled work queue for the serve daemon.
+ *
+ * The daemon's overload contract is: admission is decided at the
+ * front door, synchronously, and a rejected request gets a structured
+ * `overloaded` reply — never a silent drop, never unbounded queue
+ * growth.  This queue is the mechanism: try_push never blocks and
+ * never exceeds the configured depth; what doesn't fit is the
+ * caller's problem to reply to (that's the point).
+ *
+ * Lifecycle for graceful drain:
+ *   close_admission()  — new try_push calls fail; queued items still
+ *                        pop normally (drain phase);
+ *   close()            — additionally wakes blocked poppers; pop
+ *                        returns false once the queue is empty.
+ * Items still queued after close() can be recovered with try_pop for
+ * structured `shutting_down` replies (cancelled, not lost).
+ */
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <mutex>
+#include <utility>
+
+namespace raw {
+namespace serve {
+
+template <typename T>
+class AdmissionQueue
+{
+  public:
+    explicit AdmissionQueue(size_t depth) : depth_(depth) {}
+
+    /**
+     * Admit @p v if there is room and admission is open.  Never
+     * blocks; false means the caller owes the client a structured
+     * rejection (overloaded / shutting_down).
+     */
+    bool
+    try_push(T v)
+    {
+        {
+            std::lock_guard<std::mutex> lock(mu_);
+            if (admission_closed_ || q_.size() >= depth_)
+                return false;
+            q_.push_back(std::move(v));
+        }
+        cv_.notify_one();
+        return true;
+    }
+
+    /**
+     * Blocking pop for workers.  Returns false only after close()
+     * with the queue empty (worker shutdown signal).
+     */
+    bool
+    pop(T &out)
+    {
+        std::unique_lock<std::mutex> lock(mu_);
+        cv_.wait(lock, [&] { return closed_ || !q_.empty(); });
+        if (q_.empty())
+            return false;
+        out = std::move(q_.front());
+        q_.pop_front();
+        return true;
+    }
+
+    /** Non-blocking pop (drain recovery of cancelled items). */
+    bool
+    try_pop(T &out)
+    {
+        std::lock_guard<std::mutex> lock(mu_);
+        if (q_.empty())
+            return false;
+        out = std::move(q_.front());
+        q_.pop_front();
+        return true;
+    }
+
+    /** Stop admitting; queued items still drain through pop(). */
+    void
+    close_admission()
+    {
+        std::lock_guard<std::mutex> lock(mu_);
+        admission_closed_ = true;
+    }
+
+    /** Stop admitting and release blocked poppers once empty. */
+    void
+    close()
+    {
+        {
+            std::lock_guard<std::mutex> lock(mu_);
+            admission_closed_ = true;
+            closed_ = true;
+        }
+        cv_.notify_all();
+    }
+
+    size_t
+    size() const
+    {
+        std::lock_guard<std::mutex> lock(mu_);
+        return q_.size();
+    }
+
+    size_t depth() const { return depth_; }
+
+    bool
+    admission_closed() const
+    {
+        std::lock_guard<std::mutex> lock(mu_);
+        return admission_closed_;
+    }
+
+  private:
+    mutable std::mutex mu_;
+    std::condition_variable cv_;
+    std::deque<T> q_;
+    const size_t depth_;
+    bool admission_closed_ = false;
+    bool closed_ = false;
+};
+
+} // namespace serve
+} // namespace raw
+
+#endif // RAW_SERVE_QUEUE_HPP

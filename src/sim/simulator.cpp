@@ -346,9 +346,45 @@ Simulator::finish_run(int64_t now)
     }
 }
 
+void
+Simulator::arm_wall_deadline()
+{
+    using clock = std::chrono::steady_clock;
+    wall_armed_ = false;
+    wall_poll_count_ = 0;
+    clock::time_point dl{};
+    if (wall_budget_ms_ > 0)
+        dl = clock::now() + std::chrono::milliseconds(wall_budget_ms_);
+    if (wall_deadline_override_ != clock::time_point{} &&
+        (dl == clock::time_point{} || wall_deadline_override_ < dl))
+        dl = wall_deadline_override_;
+    if (dl != clock::time_point{}) {
+        wall_deadline_ = dl;
+        wall_armed_ = true;
+    }
+}
+
+void
+Simulator::wall_timeout() const
+{
+    throw SimTimeoutError(
+        "simulator: wall-clock budget exceeded" +
+        (wall_budget_ms_ > 0
+             ? " (" + std::to_string(wall_budget_ms_) + " ms)"
+             : std::string()));
+}
+
+void
+Simulator::check_wall_deadline()
+{
+    if (std::chrono::steady_clock::now() >= wall_deadline_)
+        wall_timeout();
+}
+
 SimResult
 Simulator::run(int64_t max_cycles)
 {
+    arm_wall_deadline();
     if (backend_ == SimBackend::kThreaded)
         return run_threaded(max_cycles);
     const int n = prog_.machine.n_tiles;
@@ -383,6 +419,7 @@ Simulator::run(int64_t max_cycles)
     while (!active_procs_.empty() || !active_sw_.empty() ||
            !active_dyn_.empty()) {
         check(now < max_cycles, "simulator: cycle limit exceeded");
+        poll_wall_deadline();
         progress_ = false;
         plane_blocked_.clear();
 

@@ -36,6 +36,7 @@
 
 #include <cstdint>
 #include <array>
+#include <chrono>
 #include <deque>
 #include <string>
 #include <vector>
@@ -266,6 +267,20 @@ class DeadlockError : public FatalError
     explicit DeadlockError(const std::string &msg) : FatalError(msg) {}
 };
 
+/**
+ * Thrown when a run exceeds its wall-clock budget
+ * (Simulator::set_wall_budget_ms).  Distinct from DeadlockError so
+ * drivers can report a structured "timeout" outcome: the machine was
+ * still making progress, it was just slower than the caller's budget.
+ */
+class SimTimeoutError : public FatalError
+{
+  public:
+    explicit SimTimeoutError(const std::string &msg) : FatalError(msg)
+    {
+    }
+};
+
 /** Dynamic-network message kinds (encoded in the header word). */
 enum class DynKind : uint8_t {
     kLoadReq = 0,
@@ -344,6 +359,29 @@ class Simulator
 
     /** Run to completion; throws DeadlockError on global stall. */
     SimResult run(int64_t max_cycles = 2000000000LL);
+
+    /**
+     * Bound the *wall-clock* time of the next run(): once the budget
+     * elapses, the run throws SimTimeoutError at the next poll point
+     * (the clock is polled every few thousand simulated cycles, so
+     * enforcement lags the deadline by microseconds, not seconds).
+     * 0 disables the budget.  Both execution backends honor it; the
+     * fault-campaign driver (--point-timeout) and the serve daemon's
+     * per-request deadlines are the intended users.
+     */
+    void set_wall_budget_ms(int64_t ms) { wall_budget_ms_ = ms; }
+
+    /**
+     * Absolute steady_clock deadline for the next run(), composed
+     * with any budget (whichever is earlier wins).  Zero time_point
+     * disables.  Used by serve-mode requests whose deadline started
+     * ticking on admission, before the simulation began.
+     */
+    void
+    set_wall_deadline(std::chrono::steady_clock::time_point tp)
+    {
+        wall_deadline_override_ = tp;
+    }
 
     /**
      * Record per-cycle category spans for Chrome trace export (costs
@@ -473,6 +511,25 @@ class Simulator
     /** Shared run() postlude: idle backfill, print sort, checker. */
     void finish_run(int64_t now);
 
+    /** Resolve budget/override into wall_deadline_ at run() entry. */
+    void arm_wall_deadline();
+    /**
+     * Cheap wall-budget poll: real clock consulted only every
+     * kWallPollInterval calls; throws SimTimeoutError past deadline.
+     */
+    void
+    poll_wall_deadline()
+    {
+        if (!wall_armed_ || ++wall_poll_count_ < kWallPollInterval)
+            return;
+        wall_poll_count_ = 0;
+        check_wall_deadline();
+    }
+    [[noreturn]] void wall_timeout() const;
+    void check_wall_deadline();
+
+    static constexpr int kWallPollInterval = 4096;
+
     const CompiledProgram &prog_;
     MemorySystem mem_;
     FaultConfig faults_;
@@ -518,6 +575,13 @@ class Simulator
     /** Tiles whose dyn_net_blocked counter ticked this cycle (one
      *  entry per increment; replayed by fast_forward). */
     std::vector<int> plane_blocked_;
+
+    // Wall-clock budget state (see set_wall_budget_ms).
+    int64_t wall_budget_ms_ = 0;
+    std::chrono::steady_clock::time_point wall_deadline_override_{};
+    std::chrono::steady_clock::time_point wall_deadline_{};
+    bool wall_armed_ = false;
+    int wall_poll_count_ = 0;
 
     /** Selected execution core. */
     SimBackend backend_ = SimBackend::kReference;

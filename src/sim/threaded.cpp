@@ -1822,6 +1822,7 @@ ThreadedState::run(int64_t max_cycles)
             flush_counters();
             check(false, "simulator: cycle limit exceeded");
         }
+        S.poll_wall_deadline();
         while (!wheel.empty() && wheel.top().first <= now) {
             wake_proc(wheel.top().second);
             wheel.pop();

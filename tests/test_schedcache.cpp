@@ -3,17 +3,22 @@
  * Block-schedule cache tests: key canonicalization (alpha-equivalent
  * blocks hit, scheduling-relevant option changes miss), warm-compile
  * identity, the on-disk tier (survival across a simulated restart,
- * corruption and truncation recovery), cache-dir validation, and the
- * PGO candidate dedupe built on options_fingerprint().
+ * corruption and truncation recovery, concurrent reader/writer/vandal
+ * stress, stale-temp sweeping), cache-dir validation, and the PGO
+ * candidate dedupe built on options_fingerprint().
  */
 
 #include <unistd.h>
 
+#include <atomic>
+#include <chrono>
 #include <cstdio>
 #include <filesystem>
 #include <fstream>
 #include <set>
 #include <string>
+#include <thread>
+#include <vector>
 
 #include <gtest/gtest.h>
 
@@ -340,6 +345,125 @@ TEST(SchedCache, FingerprintTracksEffectiveOptions)
     b = a;
     b.smart_homes = true;
     EXPECT_NE(options_fingerprint(a), options_fingerprint(b));
+}
+
+// Concurrent writers, readers and an active vandal on one shared
+// --cache-dir: the serve daemon's workers do exactly this.  Torn or
+// damaged entries may cost recomputes (counted as disk_corrupt) but
+// must never change the compiled program or crash a compile.
+TEST(SchedCache, ConcurrentDiskTierStressStaysConsistent)
+{
+    std::string dir = fresh_dir("stress");
+    SchedCache::instance().clear_memory();
+    CompilerOptions opts;
+    opts.orch.cache_dir = dir;
+
+    // Reference programs, compiled before the chaos starts.
+    const std::string want_a = disasm_program(
+        compile_with(kProg, opts).program);
+    const std::string want_b = disasm_program(
+        compile_with(kProgRenamed, opts).program);
+
+    std::atomic<bool> stop{false};
+    std::atomic<int> mismatches{0};
+    std::atomic<int> throws{0};
+
+    // Vandal: continuously truncate / byte-flip / vaporize entries
+    // while compilers read and rewrite them.
+    std::thread vandal([&] {
+        namespace fs = std::filesystem;
+        uint64_t k = 0;
+        while (!stop.load()) {
+            std::error_code ec;
+            for (const auto &ent : fs::directory_iterator(dir, ec)) {
+                if (ec)
+                    break;
+                std::string path = ent.path().string();
+                if (path.find(".tmp") != std::string::npos)
+                    continue; // never race a live writer's temp
+                switch (k++ % 3) {
+                case 0:
+                    fs::resize_file(path, 7, ec);
+                    break;
+                case 1: {
+                    std::ofstream f(path, std::ios::binary |
+                                              std::ios::app);
+                    f << "junk";
+                    break;
+                }
+                case 2:
+                    fs::remove(path, ec);
+                    break;
+                }
+            }
+            std::this_thread::sleep_for(
+                std::chrono::milliseconds(1));
+        }
+    });
+
+    constexpr int kThreads = 4;
+    constexpr int kIters = 6;
+    std::vector<std::thread> compilers;
+    for (int t = 0; t < kThreads; t++)
+        compilers.emplace_back([&, t] {
+            for (int i = 0; i < kIters; i++) {
+                // Drop the memory tier so every iteration actually
+                // exercises the (vandalized) disk tier.
+                SchedCache::instance().clear_memory();
+                const char *src = (t + i) % 2 ? kProgRenamed : kProg;
+                const std::string &want =
+                    (t + i) % 2 ? want_b : want_a;
+                try {
+                    CompileOutput out = compile_with(src, opts);
+                    if (disasm_program(out.program) != want)
+                        mismatches.fetch_add(1);
+                } catch (const std::exception &) {
+                    throws.fetch_add(1);
+                }
+            }
+        });
+    for (auto &t : compilers)
+        t.join();
+    stop.store(true);
+    vandal.join();
+
+    EXPECT_EQ(mismatches.load(), 0)
+        << "disk-tier damage must never change compiled output";
+    EXPECT_EQ(throws.load(), 0)
+        << "disk-tier damage must never escape as an exception";
+
+    // The directory is still a valid cache after the abuse.
+    SchedCache::instance().clear_memory();
+    CompileOutput fixed = compile_with(kProg, opts);
+    EXPECT_EQ(disasm_program(fixed.program), want_a);
+    std::filesystem::remove_all(dir);
+}
+
+// Orphaned writer temps (a writer killed mid-publish) are swept by
+// validate_cache_dir once they are clearly stale; a fresh temp — a
+// live concurrent writer — must survive the sweep.
+TEST(SchedCache, StaleTempSweepSparesLiveWriters)
+{
+    namespace fs = std::filesystem;
+    std::string dir = fresh_dir("sweep");
+
+    std::string stale = dir + "/deadbeef.rsc.tmp12345.0";
+    std::string live = dir + "/deadbeef.rsc.tmp12345.1";
+    {
+        std::ofstream(stale, std::ios::binary) << "half-written";
+        std::ofstream(live, std::ios::binary) << "half-written";
+    }
+    // Age the stale temp past the 10-minute sweep threshold.
+    fs::last_write_time(
+        stale, fs::file_time_type::clock::now() -
+                   std::chrono::minutes(60));
+
+    validate_cache_dir(dir);
+    EXPECT_FALSE(fs::exists(stale))
+        << "orphaned temp must be swept";
+    EXPECT_TRUE(fs::exists(live))
+        << "a recent temp may belong to a live writer";
+    fs::remove_all(dir);
 }
 
 } // namespace

@@ -1,0 +1,433 @@
+/**
+ * @file
+ * Unit tests of the serve daemon's building blocks: the hostile-input
+ * JSON parser, the bounded admission queue, and — the heart of the
+ * PR — the single-flight request cache: N concurrent identical
+ * requests run exactly one compile, a failed leader hands off to a
+ * waiter and the error is never cached, waiters honor deadlines, and
+ * LRU eviction respects both capacity axes.
+ */
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "rawcc/compiler.hpp"
+#include "serve/flight_cache.hpp"
+#include "serve/json.hpp"
+#include "serve/queue.hpp"
+#include "support/error.hpp"
+
+namespace raw {
+namespace serve {
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+// ---------------------------------------------------------------
+// JSON
+// ---------------------------------------------------------------
+
+Json
+parse_ok(const std::string &text)
+{
+    Json j;
+    std::string err;
+    EXPECT_TRUE(json_parse(text, j, err)) << text << ": " << err;
+    return j;
+}
+
+void
+parse_fail(const std::string &text)
+{
+    Json j;
+    std::string err;
+    EXPECT_FALSE(json_parse(text, j, err)) << text;
+    EXPECT_FALSE(err.empty());
+}
+
+TEST(ServeJson, ParsesScalarsAndContainers)
+{
+    EXPECT_EQ(parse_ok("null").kind, Json::Kind::kNull);
+    EXPECT_TRUE(parse_ok("true").boolean);
+    EXPECT_FALSE(parse_ok("false").boolean);
+    Json n = parse_ok("-42");
+    EXPECT_TRUE(n.is_int);
+    EXPECT_EQ(n.integer, -42);
+    Json f = parse_ok("2.5e2");
+    EXPECT_FALSE(f.is_int);
+    EXPECT_DOUBLE_EQ(f.number, 250.0);
+    Json s = parse_ok("\"a\\nb\\u0041\"");
+    EXPECT_EQ(s.string, "a\nbA");
+    Json arr = parse_ok("[1, [2, 3], {\"k\": 4}]");
+    ASSERT_EQ(arr.array.size(), 3u);
+    EXPECT_EQ(arr.array[1].array[1].integer, 3);
+    Json obj = parse_ok(
+        " {\"op\": \"compile\", \"tiles\": 16, \"x\": null} ");
+    EXPECT_EQ(obj.str_or("op", ""), "compile");
+    EXPECT_EQ(obj.int_or("tiles", 0), 16);
+    EXPECT_EQ(obj.int_or("missing", 7), 7);
+}
+
+TEST(ServeJson, SurrogatePairsBecomeUtf8)
+{
+    // U+1F600 as a surrogate pair.
+    Json s = parse_ok("\"\\uD83D\\uDE00\"");
+    EXPECT_EQ(s.string, "\xF0\x9F\x98\x80");
+    parse_fail("\"\\uD83D\"");       // lone high surrogate
+    parse_fail("\"\\uDE00\"");       // stray low surrogate
+    parse_fail("\"\\uD83D\\u0041\""); // high + non-surrogate
+}
+
+TEST(ServeJson, RejectsHostileInput)
+{
+    parse_fail("");
+    parse_fail("{");
+    parse_fail("[1, 2");
+    parse_fail("{\"a\" 1}");
+    parse_fail("{\"a\": 1,}");
+    parse_fail("tru");
+    parse_fail("1 2");          // trailing garbage
+    parse_fail("\"raw \x01\""); // control char in string
+    parse_fail("01x");
+    parse_fail("1.e5");
+    // Depth bomb: far past the recursion cap, must fail cleanly.
+    std::string bomb(1000, '[');
+    parse_fail(bomb);
+}
+
+TEST(ServeJson, QuoteAndBuilderRoundTrip)
+{
+    JsonBuilder b;
+    b.kv("s", std::string("a\"b\\c\nd"))
+        .kv("i", static_cast<int64_t>(-5))
+        .kv("d", 1.5)
+        .kv("t", true);
+    Json j = parse_ok(b.str());
+    EXPECT_EQ(j.str_or("s", ""), "a\"b\\c\nd");
+    EXPECT_EQ(j.int_or("i", 0), -5);
+    EXPECT_DOUBLE_EQ(j.num_or("d", 0), 1.5);
+    EXPECT_TRUE(j.bool_or("t", false));
+}
+
+// ---------------------------------------------------------------
+// AdmissionQueue
+// ---------------------------------------------------------------
+
+TEST(AdmissionQueue, BoundsDepthAndSheds)
+{
+    AdmissionQueue<int> q(2);
+    EXPECT_TRUE(q.try_push(1));
+    EXPECT_TRUE(q.try_push(2));
+    EXPECT_FALSE(q.try_push(3)) << "depth must be a hard bound";
+    int v;
+    ASSERT_TRUE(q.pop(v));
+    EXPECT_EQ(v, 1);
+    EXPECT_TRUE(q.try_push(3));
+}
+
+TEST(AdmissionQueue, CloseAdmissionDrainsButRejects)
+{
+    AdmissionQueue<int> q(4);
+    EXPECT_TRUE(q.try_push(1));
+    q.close_admission();
+    EXPECT_FALSE(q.try_push(2));
+    int v;
+    EXPECT_TRUE(q.try_pop(v));
+    EXPECT_EQ(v, 1);
+    EXPECT_FALSE(q.try_pop(v));
+}
+
+TEST(AdmissionQueue, CloseReleasesBlockedPoppers)
+{
+    AdmissionQueue<int> q(4);
+    std::atomic<int> popped{0};
+    std::thread worker([&] {
+        int v;
+        while (q.pop(v))
+            popped.fetch_add(1);
+    });
+    EXPECT_TRUE(q.try_push(7));
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    q.close();
+    worker.join();
+    EXPECT_EQ(popped.load(), 1);
+}
+
+// ---------------------------------------------------------------
+// FlightCache
+// ---------------------------------------------------------------
+
+FlightCache::Value
+tiny_output()
+{
+    auto out = std::make_shared<CompileOutput>();
+    out->program.tiles.resize(1);
+    return out;
+}
+
+Clock::time_point
+in_ms(int64_t ms)
+{
+    return Clock::now() + std::chrono::milliseconds(ms);
+}
+
+TEST(FlightCache, DigestsAreStableAndDistinct)
+{
+    Digest a = digest_bytes("hello");
+    EXPECT_EQ(a, digest_bytes("hello"));
+    EXPECT_FALSE(a == digest_bytes("hellp"));
+    EXPECT_FALSE(a == digest_bytes("ehllo")); // transposition
+    EXPECT_EQ(a.hex().size(), 32u);
+}
+
+TEST(FlightCache, SingleFlightCompilesOnce)
+{
+    FlightCache cache(16, 64 << 20);
+    const Digest key = digest_bytes("workload");
+    constexpr int kThreads = 8;
+
+    std::atomic<int> computes{0};
+    std::atomic<int> entered{0};
+    std::mutex mu;
+    std::condition_variable cv;
+    bool release = false;
+
+    std::vector<std::thread> ts;
+    std::vector<FlightOutcome> outcomes(kThreads);
+    std::vector<FlightCache::Value> values(kThreads);
+    for (int i = 0; i < kThreads; i++)
+        ts.emplace_back([&, i] {
+            values[i] = cache.get_or_compute(
+                key,
+                [&]() -> FlightCache::Value {
+                    computes.fetch_add(1);
+                    entered.fetch_add(1);
+                    // Hold the flight until every thread has had
+                    // time to pile up behind the leader.
+                    std::unique_lock<std::mutex> lock(mu);
+                    cv.wait(lock, [&] { return release; });
+                    return tiny_output();
+                },
+                in_ms(10000), outcomes[i]);
+        });
+
+    // Wait until the leader is inside compute, give the others time
+    // to reach the wait path, then release.
+    while (entered.load() == 0)
+        std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+    {
+        std::lock_guard<std::mutex> lock(mu);
+        release = true;
+    }
+    cv.notify_all();
+    for (auto &t : ts)
+        t.join();
+
+    EXPECT_EQ(computes.load(), 1)
+        << "N identical in-flight requests must compile exactly once";
+    int leaders = 0, waiters = 0;
+    for (int i = 0; i < kThreads; i++) {
+        ASSERT_TRUE(values[i] != nullptr);
+        EXPECT_EQ(values[i], values[0]) << "all share one result";
+        if (outcomes[i] == FlightOutcome::kLeader)
+            leaders++;
+        else if (outcomes[i] == FlightOutcome::kWaited)
+            waiters++;
+    }
+    EXPECT_EQ(leaders, 1);
+    EXPECT_EQ(waiters, kThreads - 1);
+    EXPECT_EQ(cache.stats().compiles, 1);
+    EXPECT_EQ(cache.stats().misses, 1);
+
+    // A later call is a plain hit.
+    FlightOutcome o;
+    EXPECT_TRUE(cache.get_or_compute(
+                    key,
+                    []() -> FlightCache::Value {
+                        ADD_FAILURE() << "must not recompute";
+                        return nullptr;
+                    },
+                    in_ms(1000), o) != nullptr);
+    EXPECT_EQ(o, FlightOutcome::kHit);
+}
+
+TEST(FlightCache, LeaderFailureHandsOffAndErrorIsNotCached)
+{
+    FlightCache cache(16, 64 << 20);
+    const Digest key = digest_bytes("flaky");
+
+    std::atomic<int> attempts{0};
+    std::atomic<int> leader_inside{0};
+
+    // Leader: enters compute, fails once the waiter is queued.
+    std::atomic<bool> waiter_ready{false};
+    std::thread leader([&] {
+        FlightOutcome o;
+        EXPECT_THROW(
+            cache.get_or_compute(
+                key,
+                [&]() -> FlightCache::Value {
+                    attempts.fetch_add(1);
+                    leader_inside.store(1);
+                    while (!waiter_ready.load())
+                        std::this_thread::sleep_for(
+                            std::chrono::milliseconds(1));
+                    throw FatalError("transient failure");
+                },
+                in_ms(10000), o),
+            FatalError);
+    });
+
+    while (!leader_inside.load())
+        std::this_thread::sleep_for(std::chrono::milliseconds(1));
+
+    FlightOutcome waiter_outcome;
+    std::thread waiter([&] {
+        FlightCache::Value v = cache.get_or_compute(
+            key,
+            [&]() -> FlightCache::Value {
+                // The promoted waiter's own compute succeeds.
+                attempts.fetch_add(1);
+                return tiny_output();
+            },
+            in_ms(10000), waiter_outcome);
+        EXPECT_TRUE(v != nullptr)
+            << "waiter must recover from the leader's failure";
+    });
+    // Give the waiter time to actually block on the flight before
+    // triggering the leader's throw.
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+    waiter_ready.store(true);
+
+    leader.join();
+    waiter.join();
+
+    EXPECT_EQ(attempts.load(), 2)
+        << "failed leader + one promoted retry";
+    FlightCache::Stats st = cache.stats();
+    EXPECT_EQ(st.leader_failures, 1);
+    EXPECT_EQ(st.retries, 1);
+    EXPECT_EQ(st.compiles, 1);
+
+    // The error was not cached: the key now maps to the good value.
+    FlightOutcome o;
+    EXPECT_TRUE(cache.get_or_compute(
+                    key,
+                    []() -> FlightCache::Value {
+                        ADD_FAILURE() << "error must not be cached";
+                        return nullptr;
+                    },
+                    in_ms(1000), o) != nullptr);
+    EXPECT_EQ(o, FlightOutcome::kHit);
+}
+
+TEST(FlightCache, WaiterDeadlineExpiresWithoutKillingTheFlight)
+{
+    FlightCache cache(16, 64 << 20);
+    const Digest key = digest_bytes("slow");
+
+    std::atomic<bool> release{false};
+    std::atomic<int> inside{0};
+    std::thread leader([&] {
+        FlightOutcome o;
+        FlightCache::Value v = cache.get_or_compute(
+            key,
+            [&]() -> FlightCache::Value {
+                inside.store(1);
+                while (!release.load())
+                    std::this_thread::sleep_for(
+                        std::chrono::milliseconds(1));
+                return tiny_output();
+            },
+            in_ms(10000), o);
+        EXPECT_TRUE(v != nullptr);
+    });
+    while (!inside.load())
+        std::this_thread::sleep_for(std::chrono::milliseconds(1));
+
+    // Impatient waiter: 30ms deadline against a held flight.
+    FlightOutcome o;
+    FlightCache::Value v = cache.get_or_compute(
+        key,
+        []() -> FlightCache::Value {
+            ADD_FAILURE() << "waiter must not become leader here";
+            return nullptr;
+        },
+        in_ms(30), o);
+    EXPECT_TRUE(v == nullptr);
+    EXPECT_EQ(o, FlightOutcome::kTimeout);
+    EXPECT_EQ(cache.stats().wait_timeouts, 1);
+
+    release.store(true);
+    leader.join();
+    // The flight still completed and populated the cache.
+    EXPECT_TRUE(cache.peek(key) != nullptr);
+}
+
+TEST(FlightCache, LruEvictsByEntriesAndBytes)
+{
+    FlightCache by_entries(2, 1 << 30);
+    FlightOutcome o;
+    for (int i = 0; i < 3; i++)
+        by_entries.get_or_compute(
+            digest_bytes("k" + std::to_string(i)),
+            [] { return tiny_output(); }, in_ms(1000), o);
+    FlightCache::Stats st = by_entries.stats();
+    EXPECT_EQ(st.entries, 2);
+    EXPECT_EQ(st.evictions, 1);
+    // k0 was the coldest; k2 and k1 survive.
+    EXPECT_TRUE(by_entries.peek(digest_bytes("k0")) == nullptr);
+    EXPECT_TRUE(by_entries.peek(digest_bytes("k2")) != nullptr);
+
+    // A byte cap far below two entries keeps only the newest.
+    int64_t one = approx_output_bytes(*tiny_output());
+    FlightCache by_bytes(16, one + one / 2);
+    for (int i = 0; i < 3; i++)
+        by_bytes.get_or_compute(
+            digest_bytes("b" + std::to_string(i)),
+            [] { return tiny_output(); }, in_ms(1000), o);
+    EXPECT_EQ(by_bytes.stats().entries, 1);
+    EXPECT_GE(by_bytes.stats().evictions, 2);
+}
+
+TEST(FlightCache, ConcurrentDistinctKeysDontSerialize)
+{
+    FlightCache cache(64, 1 << 30);
+    constexpr int kThreads = 8;
+    std::atomic<int> computes{0};
+    std::vector<std::thread> ts;
+    for (int i = 0; i < kThreads; i++)
+        ts.emplace_back([&, i] {
+            FlightOutcome o;
+            for (int k = 0; k < 50; k++) {
+                FlightCache::Value v = cache.get_or_compute(
+                    digest_bytes("key" + std::to_string(k % 10)),
+                    [&]() -> FlightCache::Value {
+                        computes.fetch_add(1);
+                        return tiny_output();
+                    },
+                    in_ms(10000), o);
+                EXPECT_TRUE(v != nullptr);
+            }
+        });
+    for (auto &t : ts)
+        t.join();
+    // Single-flight may let two leaders race on distinct keys, but
+    // every key compiles at least once and far fewer than per-call.
+    EXPECT_GE(computes.load(), 10);
+    EXPECT_LE(computes.load(), 10 + kThreads);
+    FlightCache::Stats st = cache.stats();
+    EXPECT_EQ(st.hits + st.waits + st.misses,
+              kThreads * 50);
+}
+
+} // namespace
+} // namespace serve
+} // namespace raw

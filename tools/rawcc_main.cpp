@@ -29,6 +29,9 @@
  *   --fault-campaign N sweep N fault points (seeds x channels x
  *                      intensities) and verify bit-identical results
  *   --campaign-out F   campaign JSON report path
+ *   --point-timeout MS wall-clock budget per campaign point; a point
+ *                      over budget reports a structured "timeout"
+ *                      outcome instead of stalling the sweep
  *   --jobs N           worker threads (0 = all cores): campaign
  *                      points, and per-block compile phases
  *   --cache-dir D      on-disk block-schedule cache (created if
@@ -64,6 +67,7 @@
 #include "harness/parallel.hpp"
 #include "ir/printer.hpp"
 #include "rawcc/schedcache.hpp"
+#include "serve/server.hpp"
 #include "sim/disasm.hpp"
 #include "sim/profile.hpp"
 
@@ -81,7 +85,8 @@ usage()
         "  --miss-rate R --miss-penalty P --seed S\n"
         "  --route-stall-rate R --route-stall-cycles P\n"
         "  --dyn-delay-rate R --dyn-delay-cycles P --jitter-rate R\n"
-        "  --check --fault-campaign N --campaign-out FILE --jobs N\n"
+        "  --check --fault-campaign N --campaign-out FILE\n"
+        "  --point-timeout MS --jobs N\n"
         "  --cache-dir DIR --no-sched-cache\n"
         "  --no-unroll --no-replication --no-port-fold\n"
         "  --sched-iters N --route-select --pgo\n"
@@ -167,6 +172,11 @@ main(int argc, char **argv)
 {
     using namespace raw;
 
+    // `rawcc serve ...`: hand the rest of argv to the daemon
+    // (src/serve/server.hpp); everything below is the one-shot CLI.
+    if (argc >= 2 && std::string(argv[1]) == "serve")
+        return serve::serve_main(argc - 2, argv + 2);
+
     long tiles = 4;
     std::string config = "base";
     std::string input;
@@ -180,6 +190,7 @@ main(int argc, char **argv)
     SimBackend sim_backend = SimBackend::kReference;
     bool sim_diff = false;
     long fault_campaign = 0;
+    long point_timeout = 0;
     long jobs = 0;
     std::string campaign_out;
 
@@ -261,6 +272,12 @@ main(int argc, char **argv)
                           "a point count in 1..100000");
         } else if (a == "--campaign-out")
             campaign_out = next();
+        else if (a == "--point-timeout") {
+            point_timeout = parse_long(next(), "--point-timeout");
+            if (point_timeout <= 0 || point_timeout > 86400000)
+                bad_value("--point-timeout", argv[i],
+                          "a budget in milliseconds (1..86400000)");
+        }
         else if (a == "--jobs") {
             jobs = parse_long(next(), "--jobs");
             if (jobs < 0 || jobs > 4096)
@@ -339,7 +356,8 @@ main(int argc, char **argv)
             // benchmark; benchmark() rejects anything else.
             CampaignReport rep = run_fault_campaign(
                 input, machine, static_cast<int>(fault_campaign),
-                faults.seed, static_cast<int>(jobs), opts);
+                faults.seed, static_cast<int>(jobs), opts,
+                point_timeout);
             std::printf("%s\n", rep.summary().c_str());
             std::string path =
                 campaign_out.empty()
