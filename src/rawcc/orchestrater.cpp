@@ -11,6 +11,7 @@
 
 #include "harness/parallel.hpp"
 #include "rawcc/schedcache.hpp"
+#include "schedule/modulo.hpp"
 #include "support/error.hpp"
 #include "transform/congruence.hpp"
 #include "transform/rename.hpp"
@@ -628,8 +629,41 @@ orchestrate(Function &fn, const MachineConfig &machine,
     // ---- Phase 2 (parallel): schedule + emit every block. -------
     std::vector<int64_t> makespans(n_blocks, 0);
     std::vector<std::vector<int64_t>> busys(n_blocks);
+    std::vector<BlockPipelineStats> pstats(n_blocks);
+    std::vector<uint8_t> have_oracle(n_blocks, 0);
+    std::vector<OracleReport> oracles(n_blocks);
     std::vector<std::vector<std::vector<VInstr>>> btiles(n_blocks);
     std::vector<std::vector<std::vector<SInstr>>> bswitches(n_blocks);
+
+    // Modulo scheduling targets blocks on CFG cycles; the CFG is
+    // frozen by now (all mutation happened serially above), so the
+    // loop-block mask is computed once, outside the fan-out.
+    std::vector<uint8_t> on_cycle;
+    if (opts.sched.modulo)
+        on_cycle = loop_blocks(fn);
+    bool any_sw_active = false;
+    for (int t = 0; t < n_tiles; t++)
+        any_sw_active = any_sw_active || vp.switch_active[t];
+
+    // The oracle is reporting-only and independent of the schedule
+    // cache: it runs per compile (budget-gated) so its reports exist
+    // on warm compiles too, identically to cold ones.
+    auto run_oracle = [&](int b) {
+        if (opts.sched.oracle_budget <= 0)
+            return;
+        const TaskGraph &g = ensure_graph(b);
+        const Instr &term = fn.blocks[b].terminator();
+        int bcast = -1;
+        if (needs_bcast[b])
+            bcast = g.producer_of(term.src[0]);
+        std::vector<CommPath> paths = build_comm_paths(
+            g, parts[b], machine, bcast, vp.switch_active);
+        if (oracle_search(g, parts[b], machine, paths,
+                          opts.sched.oracle_budget, oracles[b])) {
+            oracles[b].block = b;
+            have_oracle[b] = 1;
+        }
+    };
 
     Clock::time_point t_sched = Clock::now();
     run_parallel(n_blocks, n_threads, [&](int b) {
@@ -642,8 +676,11 @@ orchestrate(Function &fn, const MachineConfig &machine,
                     cache.get_sched(skey, dir, ctr[b])) {
                 if (rehydrate_sched_payload(*blob, canons[b], term,
                                             makespans[b], busys[b],
-                                            btiles[b], bswitches[b]))
+                                            pstats[b], btiles[b],
+                                            bswitches[b])) {
+                    run_oracle(b);
                     return;
+                }
                 // Undecodable payload (stale survivor): recompute
                 // below and re-put a fresh entry.
             }
@@ -657,19 +694,28 @@ orchestrate(Function &fn, const MachineConfig &machine,
         }
         std::vector<CommPath> paths = build_comm_paths(
             g, parts[b], machine, bcast, vp.switch_active);
-        BlockSchedule sched = schedule_block(g, parts[b], machine,
-                                             paths, opts.sched);
+        LoopPipelineInfo loop;
+        if (opts.sched.modulo)
+            loop = analyze_loop_block(
+                fn, b, g, on_cycle[b] != 0,
+                static_cast<int>(tails[b].instrs.size()),
+                any_sw_active);
+        BlockSchedule sched = schedule_block_pipelined(
+            g, parts[b], machine, paths, opts.sched, loop);
         makespans[b] = sched.makespan;
         busys[b] = sched.tile_busy;
+        pstats[b] = {b,         fn.blocks[b].src_loop, sched.pipelined,
+                     sched.ii,  sched.mii,             sched.res_mii,
+                     sched.rec_mii, sched.flat_mii};
         emit_block_streams(fn, b, g, sched, tails[b], repl, svreg,
                            vp.switch_active, pseq[b], machine,
                            btiles[b], bswitches[b]);
         if (use_cache) {
             auto e = std::make_shared<SchedEntry>(dehydrate_streams(
-                canons[b], term, sched.makespan, sched.tile_busy,
-                btiles[b], bswitches[b]));
+                canons[b], term, sched, btiles[b], bswitches[b]));
             cache.put_sched(skey, dir, e, ctr[b]);
         }
+        run_oracle(b);
     });
     vp.schedule_phase_ms = ms_since(t_sched);
 
@@ -686,6 +732,15 @@ orchestrate(Function &fn, const MachineConfig &machine,
             vp.tiles[t][b] = std::move(btiles[b][t]);
             vp.switches[t][b] = std::move(bswitches[b][t]);
         }
+        // Loop blocks carry mii >= 1 (whether computed or rehydrated
+        // from a cached payload); everything else stays all-zero.
+        if (opts.sched.modulo && pstats[b].mii > 0) {
+            pstats[b].block = b;
+            pstats[b].src_loop = fn.blocks[b].src_loop;
+            vp.block_pipeline.push_back(pstats[b]);
+        }
+        if (have_oracle[b])
+            vp.oracle_reports.push_back(oracles[b]);
         vp.cache.add(ctr[b]);
     }
 

@@ -21,7 +21,7 @@
 
 namespace raw {
 
-const char *const kSchedCacheVersion = "rawsc-2";
+const char *const kSchedCacheVersion = "rawsc-3";
 
 void
 SchedCacheCounters::add(const SchedCacheCounters &o)
@@ -391,6 +391,12 @@ block_schedule_key(const BlockKey &part_key, const SchedOptions &so,
     s.num(so.fifo_priority);
     s.num(so.sched_iters);
     s.num(so.route_select);
+    s.num(so.modulo);
+    s.num(so.mii_cap);
+    // The oracle never changes the emitted streams, but its reports
+    // ride in the compile stats; keying on the budget keeps a --stats
+    // run from being satisfied by an oracle-less entry and vice versa.
+    s.num(so.oracle_budget);
     s.lit("|w:");
     s.num(static_cast<int64_t>(switch_active.size()));
     for (bool v : switch_active)
@@ -433,14 +439,19 @@ slot_to_target(int32_t slot, const Instr &term)
 
 SchedEntry
 dehydrate_streams(const BlockCanon &canon, const Instr &term,
-                  int64_t makespan,
-                  const std::vector<int64_t> &tile_busy,
+                  const BlockSchedule &sched,
                   const std::vector<std::vector<VInstr>> &tiles,
                   const std::vector<std::vector<SInstr>> &switches)
 {
     SchedEntry e;
-    e.makespan = makespan;
-    e.tile_busy = tile_busy;
+    e.makespan = sched.makespan;
+    e.tile_busy = sched.tile_busy;
+    e.pipelined = sched.pipelined ? 1 : 0;
+    e.ii = sched.ii;
+    e.mii = sched.mii;
+    e.res_mii = sched.res_mii;
+    e.rec_mii = sched.rec_mii;
+    e.flat_mii = sched.flat_mii;
     e.tiles.resize(tiles.size());
     for (size_t t = 0; t < tiles.size(); t++) {
         e.tiles[t].reserve(tiles[t].size());
@@ -588,6 +599,12 @@ serialize_sched(std::string &s, const SchedEntry &e)
     put(s, static_cast<int64_t>(e.tile_busy.size()));
     for (int64_t v : e.tile_busy)
         put(s, v);
+    put(s, static_cast<int64_t>(e.pipelined));
+    put(s, e.ii);
+    put(s, e.mii);
+    put(s, e.res_mii);
+    put(s, e.rec_mii);
+    put(s, e.flat_mii);
     put(s, static_cast<int64_t>(e.tiles.size()));
     for (const auto &code : e.tiles) {
         put(s, static_cast<int64_t>(code.size()));
@@ -791,6 +808,7 @@ rehydrate_sched_payload(const std::string &payload,
                         const BlockCanon &canon, const Instr &term,
                         int64_t &makespan,
                         std::vector<int64_t> &tile_busy,
+                        BlockPipelineStats &pipe,
                         std::vector<std::vector<VInstr>> &tiles_out,
                         std::vector<std::vector<SInstr>> &switches_out)
 {
@@ -802,6 +820,12 @@ rehydrate_sched_payload(const std::string &payload,
     tile_busy.resize(n);
     for (int64_t k = 0; k < n; k++)
         tile_busy[k] = r.i();
+    pipe.pipelined = r.i() != 0;
+    pipe.ii = r.i();
+    pipe.mii = r.i();
+    pipe.res_mii = r.i();
+    pipe.rec_mii = r.i();
+    pipe.flat_mii = r.i();
     n = r.i();
     if (!r.ok || n < 0 || n > (1 << 20))
         return false;

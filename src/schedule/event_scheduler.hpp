@@ -53,6 +53,30 @@ struct SchedOptions
      * and the runtime checker are unaffected.
      */
     bool route_select = false;
+    /**
+     * Cross-tile modulo scheduling (--modulo): software-pipeline the
+     * blocks that sit on CFG cycles by searching initiation intervals
+     * upward from MII under per-tile window and loop-carried (wrap)
+     * constraints; the greedy list schedule stays the fallback and
+     * the floor — a pipelined schedule is only adopted when its
+     * modeled steady-state II beats the greedy one's.  See
+     * schedule/modulo.hpp and docs/scheduling.md.
+     */
+    bool modulo = false;
+    /**
+     * Upper bound of the initiation-interval search (--mii-cap); a
+     * loop whose feasible II exceeds it falls back to the greedy
+     * schedule.
+     */
+    int mii_cap = 512;
+    /**
+     * Small-block optimal oracle (--oracle-budget): branch-and-bound
+     * over ready-task orderings with at most this many explored
+     * states per block, reporting the greedy-vs-optimal makespan gap
+     * (schedule/oracle.hpp).  0 disables; the oracle never changes
+     * the emitted schedule.
+     */
+    int64_t oracle_budget = 0;
 
     /** Any best-of-N mechanism beyond the seed single pass enabled? */
     bool multi_pass() const { return sched_iters > 0 || route_select; }
@@ -105,6 +129,19 @@ struct BlockSchedule
      * (sim/profile.hpp) to validate the scheduler's cost model.
      */
     std::vector<int64_t> tile_busy;
+
+    // ---- Modulo-scheduling metadata (loop blocks only). ----------
+    /** The modulo schedule was adopted over the greedy fallback. */
+    bool pipelined = false;
+    /** Modeled steady-state initiation interval of this schedule. */
+    int64_t ii = 0;
+    /** Lower bound the II search started from (max of the below). */
+    int64_t mii = 0;
+    /** Resource bound: busiest proc/switch slot count + control tail. */
+    int64_t res_mii = 0;
+    /** Recurrence bound over loop-carried import->writeback chains. */
+    int64_t rec_mii = 0;
+    int64_t flat_mii = 0;
 };
 
 /** Schedule one block. */

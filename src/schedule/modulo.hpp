@@ -1,0 +1,140 @@
+#ifndef RAW_SCHEDULE_MODULO_HPP
+#define RAW_SCHEDULE_MODULO_HPP
+
+/**
+ * @file
+ * Cross-tile modulo scheduling (software pipelining) of loop blocks.
+ *
+ * Tiles execute their per-block instruction streams decoupled, in
+ * order, synchronized only by the static network's blocking FIFOs.
+ * For a block on a CFG cycle the steady-state cost per iteration is
+ * therefore the maximum cycle mean of the timed event graph induced
+ * by (a) per-tile/per-switch program order, (b) the block's data and
+ * communication dependences, and (c) the loop-carried (wrap) edges
+ * from each variable's write-back to the next iteration's first read
+ * of its import.  The greedy list scheduler minimizes flat makespan
+ * and routinely leaves that cycle mean near the makespan itself:
+ * write-backs are graph sinks, so they land last and serialize
+ * consecutive iterations.
+ *
+ * The modulo scheduler instead searches initiation intervals upward
+ * from MII = max(ResMII, RecMII) and re-runs list scheduling under
+ * two extra constraint families that make a period-II repetition of
+ * the flat schedule self-consistent:
+ *
+ *  - *window* constraints — every tile's issue slots (and every
+ *    switch's ROUTE slots) must fit inside a window of II minus the
+ *    control-tail length, so iteration k+1's stream can start II
+ *    cycles after iteration k's on every resource.  A window shorter
+ *    than II also makes the mod-II projection of the flat
+ *    reservation tables injective: flat conflict-freedom then equals
+ *    modulo-reservation-table conflict-freedom, and each word still
+ *    occupies each FIFO stage for exactly one cycle of its
+ *    contiguously reserved route, so cross-iteration words cannot
+ *    exceed FIFO capacity in the periodic timing;
+ *  - *wrap* constraints — for every loop-carried variable,
+ *    finish(write-back) <= first-read(import) + II.
+ *
+ * The result is still an ordinary flat block schedule: emission, the
+ * static-ordering property, the runtime checker and the deadlock-
+ * freedom argument (Appendix A) are untouched; the decoupled runtime
+ * realizes the prologue/epilogue overlap implicitly by letting tiles
+ * drift up to a window apart.  Fallback is the greedy schedule, and
+ * a pipelined schedule is only adopted when its modeled steady-state
+ * II is strictly better, so --modulo can never lose in the model.
+ */
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "ir/function.hpp"
+#include "schedule/event_scheduler.hpp"
+
+namespace raw {
+
+/** Pipelining facts of one block (see analyze_loop_block). */
+struct LoopPipelineInfo
+{
+    /** Block sits on a CFG cycle (some path leads back to it). */
+    bool loop_block = false;
+    /**
+     * Issue slots every processor appends after the scheduled items:
+     * control-tail instructions plus the taken terminator slot.
+     */
+    int proc_tail = 0;
+    /** Same for every active switch stream (tail ALU ops + branch). */
+    int sw_tail = 0;
+    bool any_switch_active = false;
+    /** Loop-carried pairs: (import node, write-back node) per var. */
+    std::vector<std::pair<int, int>> wraps;
+};
+
+/** Blocks that lie on a cycle of the block graph. */
+std::vector<uint8_t> loop_blocks(const Function &fn);
+
+/**
+ * Pipelining facts of block @p b: wrap pairs from the task graph,
+ * control-tail lengths from the orchestrater (@p tail_len cloned
+ * instructions; the taken branch adds one slot).
+ */
+LoopPipelineInfo analyze_loop_block(const Function &fn, int b,
+                                    const TaskGraph &g, bool on_cycle,
+                                    int tail_len,
+                                    bool any_switch_active);
+
+/** MII bounds of one block. */
+struct MiiBounds
+{
+    int64_t res_mii = 1;
+    int64_t rec_mii = 1;
+    /**
+     * Flat-emission span bound: two ops co-resident on a tile can
+     * never issue closer than the longest dependence path between
+     * them, and the tile's replay window must cover both, so
+     * II >= that distance + 1 + the tile's control tail.  This is
+     * specific to flat emission (a kernel-forming pipeliner that
+     * staggers iterations would not be bound by it); it keeps the
+     * reported MII honest for this backend and saves the II search
+     * from probing intervals no flat schedule can meet.
+     */
+    int64_t flat_mii = 1;
+    int64_t mii() const
+    {
+        return std::max(std::max(res_mii, rec_mii), flat_mii);
+    }
+};
+
+MiiBounds modulo_mii(const TaskGraph &g, const Partition &part,
+                     const MachineConfig &m,
+                     const std::vector<CommPath> &paths,
+                     const LoopPipelineInfo &loop);
+
+/**
+ * Modeled steady-state initiation interval of @p s when repeated
+ * every iteration: the max of per-tile window spans plus tails,
+ * per-switch spans plus tails, and wrap latencies.
+ */
+int64_t steady_state_ii(const BlockSchedule &s, const TaskGraph &g,
+                        const Partition &part,
+                        const std::vector<CommPath> &paths,
+                        const LoopPipelineInfo &loop);
+
+/**
+ * Schedule one block with modulo scheduling when profitable.  Always
+ * computes the greedy schedule first (schedule_block with @p opts
+ * verbatim); for loop blocks with opts.modulo set it then searches
+ * II upward from MII and returns the pipelined schedule iff its
+ * modeled steady-state II beats the greedy schedule's.  The returned
+ * schedule carries the ii/mii metadata either way.
+ */
+BlockSchedule schedule_block_pipelined(const TaskGraph &g,
+                                       const Partition &part,
+                                       const MachineConfig &m,
+                                       const std::vector<CommPath> &paths,
+                                       const SchedOptions &opts,
+                                       const LoopPipelineInfo &loop);
+
+} // namespace raw
+
+#endif // RAW_SCHEDULE_MODULO_HPP

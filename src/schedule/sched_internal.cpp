@@ -1,0 +1,126 @@
+#include "schedule/sched_internal.hpp"
+
+#include <algorithm>
+#include <queue>
+
+#include "support/error.hpp"
+
+namespace raw {
+namespace sched {
+
+std::vector<int>
+topo_order(const TaskGraph &g)
+{
+    const int n = static_cast<int>(g.nodes().size());
+    std::vector<int> indeg(n, 0), order;
+    order.reserve(n);
+    std::queue<int> q;
+    for (int i = 0; i < n; i++) {
+        indeg[i] = static_cast<int>(g.preds(i).size());
+        if (indeg[i] == 0)
+            q.push(i);
+    }
+    while (!q.empty()) {
+        int v = q.front();
+        q.pop();
+        order.push_back(v);
+        for (int s : g.succs(v))
+            if (--indeg[s] == 0)
+                q.push(s);
+    }
+    check(static_cast<int>(order.size()) == n,
+          "scheduler: task graph has a cycle");
+    return order;
+}
+
+namespace {
+constexpr int64_t kFertCap = 1000000;
+} // namespace
+
+Priorities
+compute_priorities(const TaskGraph &g, const Partition &part,
+                   const MachineConfig &m)
+{
+    const int n = static_cast<int>(g.nodes().size());
+    Priorities pr;
+    pr.level.assign(n, 0);
+    pr.fert.assign(n, 0);
+
+    std::vector<int> order = topo_order(g);
+    for (int k = n; k-- > 0;) {
+        int v = order[k];
+        int64_t lvl = 0, fert = 0;
+        for (int e : g.out_edges(v)) {
+            const TGEdge &edge = g.edges()[e];
+            int s = edge.to;
+            int64_t comm = 0;
+            if (part.tile_of[v] != part.tile_of[s] &&
+                edge.kind != DepKind::kAnti)
+                comm = 2 + m.distance(part.tile_of[v],
+                                      part.tile_of[s]);
+            lvl = std::max(lvl, comm + pr.level[s]);
+            fert = std::min(kFertCap, fert + 1 + pr.fert[s]);
+        }
+        pr.level[v] = g.nodes()[v].cost + lvl;
+        pr.fert[v] = fert;
+    }
+    return pr;
+}
+
+DepInfo
+build_deps(const TaskGraph &g, const Partition &part,
+           const std::vector<CommPath> &paths)
+{
+    const int nn = static_cast<int>(g.nodes().size());
+    const int np = static_cast<int>(paths.size());
+    DepInfo d;
+    d.paths_of_node.assign(nn, {});
+    for (int p = 0; p < np; p++)
+        d.paths_of_node[paths[p].src_node].push_back(p);
+    d.data_path_of_node.assign(nn, -1);
+    for (int p = 0; p < np; p++)
+        if (!paths[p].broadcast)
+            d.data_path_of_node[paths[p].src_node] = p;
+
+    d.deps_init.assign(nn, 0);
+    d.node_waiters.assign(nn, {});
+    d.path_waiters.assign(np, {});
+    d.in_edges.assign(nn, {});
+    for (int e = 0; e < static_cast<int>(g.edges().size()); e++)
+        d.in_edges[g.edges()[e].to].push_back(e);
+
+    for (int e = 0; e < static_cast<int>(g.edges().size()); e++) {
+        const TGEdge &edge = g.edges()[e];
+        int p = edge.from, v = edge.to;
+        bool same = part.tile_of[p] == part.tile_of[v];
+        if (edge.kind == DepKind::kAnti) {
+            if (!same)
+                continue;
+            // Same-tile anti-dep: wait for the node; if the producer
+            // is an import with fan-out paths, also wait for those
+            // paths (their sends read the register being overwritten).
+            d.node_waiters[p].push_back(v);
+            d.deps_init[v]++;
+            if (g.nodes()[p].kind == TGKind::kImport) {
+                for (int pp : d.paths_of_node[p]) {
+                    d.path_waiters[pp].push_back(v);
+                    d.deps_init[v]++;
+                }
+            }
+            continue;
+        }
+        if (same) {
+            d.node_waiters[p].push_back(v);
+            d.deps_init[v]++;
+        } else {
+            int path = d.data_path_of_node[p];
+            check(path >= 0, "scheduler: cross-tile edge without path");
+            d.path_waiters[path].push_back(v);
+            d.deps_init[v]++;
+        }
+    }
+    return d;
+}
+
+} // namespace sched
+} // namespace raw

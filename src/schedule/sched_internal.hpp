@@ -1,0 +1,67 @@
+#ifndef RAW_SCHEDULE_SCHED_INTERNAL_HPP
+#define RAW_SCHEDULE_SCHED_INTERNAL_HPP
+
+/**
+ * @file
+ * Internals shared by the block schedulers.
+ *
+ * The greedy list scheduler (event_scheduler.cpp), the cross-tile
+ * modulo scheduler (modulo.cpp) and the small-block optimal oracle
+ * (oracle.cpp) all operate on the same task-graph-plus-comm-paths
+ * model: identical dependence bookkeeping, identical priority
+ * computation, identical per-switch reservation state.  This header
+ * factors those pieces out so the three schedulers cannot drift on
+ * the resource model — a schedule any of them accepts reserves
+ * processor slots and switch ports under exactly the same rules.
+ */
+
+#include <cstdint>
+#include <vector>
+
+#include "schedule/comm.hpp"
+
+namespace raw {
+namespace sched {
+
+/** Per-switch, per-cycle reservation state. */
+struct SwRes
+{
+    uint8_t in_used = 0;  // bitmask over Dir
+    uint8_t out_used = 0; // bitmask over Dir
+    bool reg_used = false;
+};
+
+/** Priorities: level (critical path) and clamped fertility. */
+struct Priorities
+{
+    std::vector<int64_t> level;
+    std::vector<int64_t> fert;
+};
+
+/** Topological order of the task graph (panics on a cycle). */
+std::vector<int> topo_order(const TaskGraph &g);
+
+Priorities compute_priorities(const TaskGraph &g, const Partition &part,
+                              const MachineConfig &m);
+
+/** Dependence bookkeeping shared by every scheduling pass. */
+struct DepInfo
+{
+    /** node -> paths it sources (usually <= 2: data + bcast). */
+    std::vector<std::vector<int>> paths_of_node;
+    /** Node's non-broadcast (value-carrying) path, or -1. */
+    std::vector<int> data_path_of_node;
+    /** Initial unsatisfied-dependence count per node. */
+    std::vector<int> deps_init;
+    std::vector<std::vector<int>> node_waiters; // node -> nodes
+    std::vector<std::vector<int>> path_waiters; // path -> nodes
+    std::vector<std::vector<int>> in_edges;     // node -> edge ids
+};
+
+DepInfo build_deps(const TaskGraph &g, const Partition &part,
+                   const std::vector<CommPath> &paths);
+
+} // namespace sched
+} // namespace raw
+
+#endif // RAW_SCHEDULE_SCHED_INTERNAL_HPP

@@ -328,6 +328,31 @@ TEST(Cli, RejectsNaNAndOutOfRangeRates)
     EXPECT_EQ(run_cli("--dyn-delay-rate 2 jacobi"), 2);
     EXPECT_EQ(run_cli("--jitter-rate nan jacobi"), 2);
 }
+
+TEST(Cli, RejectsBadModuloKnobs)
+{
+    EXPECT_EQ(run_cli("--mii-cap 0 jacobi"), 2);
+    EXPECT_EQ(run_cli("--mii-cap -5 jacobi"), 2);
+    EXPECT_EQ(run_cli("--mii-cap 65537 jacobi"), 2);
+    EXPECT_EQ(run_cli("--mii-cap nope jacobi"), 2);
+    EXPECT_EQ(run_cli("--oracle-budget -1 jacobi"), 2);
+    EXPECT_EQ(run_cli("--oracle-budget 100000001 jacobi"), 2);
+    EXPECT_EQ(run_cli("--oracle-budget x jacobi"), 2);
+    // Missing value at end of line.
+    EXPECT_EQ(run_cli("jacobi --mii-cap"), 2);
+    EXPECT_EQ(run_cli("jacobi --oracle-budget"), 2);
+}
+
+TEST(Cli, ModuloKnobsRoundTrip)
+{
+    // In-range values parse and compile cleanly.
+    EXPECT_EQ(run_cli("--modulo --mii-cap 64 --oracle-budget 1000 "
+                      "--tiles 4 --no-run jacobi"),
+              0);
+    EXPECT_EQ(run_cli("--mii-cap 1 --oracle-budget 0 "
+                      "--tiles 4 --no-run jacobi"),
+              0);
+}
 #endif
 
 } // namespace

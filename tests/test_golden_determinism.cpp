@@ -38,6 +38,8 @@ struct GoldenPoint
     FaultConfig faults;
     /** Schedule-quality optimizer (--sched-iters 3 --route-select). */
     bool sched_opt = false;
+    /** Cross-tile modulo scheduling (--modulo). */
+    bool modulo = false;
 };
 
 // Must stay in sync with kPoints in tools/golden_gen.cpp.
@@ -52,6 +54,9 @@ const GoldenPoint kPoints[] = {
     {"cholesky", 16, {}, true},
     {"mxm", 16, {}, true},
     {"jacobi", 16, {}, true},
+    {"life", 16, {}, false, true},
+    {"jacobi", 16, {}, false, true},
+    {"mxm", 16, {}, false, true},
 };
 
 std::string
@@ -61,6 +66,8 @@ point_name(const GoldenPoint &p)
         std::string(p.bench) + "_n" + std::to_string(p.tiles);
     if (p.sched_opt)
         name += "_sched";
+    if (p.modulo)
+        name += "_mod";
     if (p.faults.multi_channel())
         name += "_mfault";
     else if (p.faults.miss_rate > 0)
@@ -90,6 +97,7 @@ run_point(const GoldenPoint &p, int jobs = 1,
         opts.orch.sched.sched_iters = 3;
         opts.orch.sched.route_select = true;
     }
+    opts.orch.sched.modulo = p.modulo;
     opts.orch.jobs = jobs;
     opts.orch.cache_dir = cache_dir;
     RunResult r =

@@ -121,6 +121,65 @@ TEST(SchedCache, SchedOptionChangeMissesScheduleOnly)
     EXPECT_GT(c.stats.cache.sched_misses, 0);
 }
 
+// The modulo-scheduling knobs are schedule-stage inputs: every one
+// of them must churn the schedule key (a cached greedy schedule must
+// never satisfy a --modulo compile or vice versa), and none of them
+// may touch the partition key.
+TEST(SchedCache, ModuloKnobsChangeScheduleKey)
+{
+    BlockKey pk;
+    pk.h1 = 0x1234567890abcdefULL;
+    pk.h2 = 0xfedcba0987654321ULL;
+    std::vector<bool> sw = {true, false, true, true};
+    auto key = [&](const SchedOptions &so) {
+        BlockKey k = block_schedule_key(pk, so, sw);
+        return std::make_pair(k.h1, k.h2);
+    };
+
+    SchedOptions base;
+    auto base_key = key(base);
+    EXPECT_EQ(key(base), base_key) << "key must be deterministic";
+
+    SchedOptions m = base;
+    m.modulo = !m.modulo;
+    EXPECT_NE(key(m), base_key) << "--modulo must churn the key";
+
+    SchedOptions c = base;
+    c.mii_cap = base.mii_cap * 2;
+    EXPECT_NE(key(c), base_key) << "--mii-cap must churn the key";
+
+    SchedOptions o = base;
+    o.oracle_budget = base.oracle_budget + 50000;
+    EXPECT_NE(key(o), base_key)
+        << "--oracle-budget must churn the key";
+
+    // All three knobs produce mutually distinct keys.
+    std::set<std::pair<uint64_t, uint64_t>> keys = {
+        base_key, key(m), key(c), key(o)};
+    EXPECT_EQ(keys.size(), 4u);
+}
+
+TEST(SchedCache, ModuloChangeMissesScheduleOnly)
+{
+    SchedCache::instance().clear_memory();
+    CompilerOptions opts;
+    compile_with(kProg, opts);
+
+    CompilerOptions changed = opts;
+    changed.orch.sched.modulo = true;
+    CompileOutput c = compile_with(kProg, changed);
+    // Partitions are schedule-agnostic; the schedule tier must be
+    // recomputed under pipelining.
+    EXPECT_EQ(c.stats.cache.part_misses, 0);
+    EXPECT_GT(c.stats.cache.sched_misses, 0);
+
+    // And the pipelined entries hit on a warm recompile.
+    CompileOutput warm = compile_with(kProg, changed);
+    EXPECT_EQ(warm.stats.cache.sched_misses, 0);
+    EXPECT_EQ(disasm_program(warm.program),
+              disasm_program(c.program));
+}
+
 TEST(SchedCache, PartitionOptionChangeMisses)
 {
     SchedCache::instance().clear_memory();
@@ -344,6 +403,12 @@ TEST(SchedCache, FingerprintTracksEffectiveOptions)
     EXPECT_NE(options_fingerprint(a), options_fingerprint(b));
     b = a;
     b.smart_homes = true;
+    EXPECT_NE(options_fingerprint(a), options_fingerprint(b));
+    b = a;
+    b.orch.sched.modulo = true;
+    EXPECT_NE(options_fingerprint(a), options_fingerprint(b));
+    b = a;
+    b.orch.sched.mii_cap *= 2;
     EXPECT_NE(options_fingerprint(a), options_fingerprint(b));
 }
 

@@ -43,6 +43,8 @@ struct GoldenPoint
     raw::FaultConfig faults;
     /** Schedule-quality optimizer on (--sched-iters 3 --route-select). */
     bool sched_opt = false;
+    /** Cross-tile modulo scheduling on (--modulo). */
+    bool modulo = false;
 };
 
 const GoldenPoint kPoints[] = {
@@ -62,6 +64,11 @@ const GoldenPoint kPoints[] = {
     {"cholesky", 16, {}, true},
     {"mxm", 16, {}, true},
     {"jacobi", 16, {}, true},
+    // Modulo-scheduling points: software-pipelined loop blocks must
+    // stay deterministic and checker-clean too.
+    {"life", 16, {}, false, true},
+    {"jacobi", 16, {}, false, true},
+    {"mxm", 16, {}, false, true},
 };
 
 std::string
@@ -71,6 +78,8 @@ point_filename(const GoldenPoint &p)
                        std::to_string(p.tiles);
     if (p.sched_opt)
         name += "_sched";
+    if (p.modulo)
+        name += "_mod";
     if (p.faults.multi_channel())
         name += "_mfault";
     else if (p.faults.miss_rate > 0)
@@ -86,6 +95,7 @@ point_options(const GoldenPoint &p)
         opts.orch.sched.sched_iters = 3;
         opts.orch.sched.route_select = true;
     }
+    opts.orch.sched.modulo = p.modulo;
     return opts;
 }
 
