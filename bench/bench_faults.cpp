@@ -8,8 +8,11 @@
  *
  * Flags: --smoke runs the tiny CI configuration — 2 benchmarks ×
  * 3 seeds × 6 points each at 4 tiles, covering every channel (ctest
- * label fault-smoke); --bench NAME restricts to one benchmark;
- * --points N / --seed S / --tiles N / --jobs N tune the full sweep.
+ * label fault-smoke); --scaling runs the large-mesh campaign — a
+ * single 160-point sweep (10x the default) at 64 tiles on jacobi,
+ * the fault-tolerance companion to the bench_wallclock scaling
+ * study; --bench NAME restricts to one benchmark; --points N /
+ * --seed S / --tiles N / --jobs N tune the full sweep.
  *
  * Exit status is nonzero if any campaign point failed, so the smoke
  * run doubles as a correctness gate.
@@ -44,6 +47,7 @@ main(int argc, char **argv)
     std::string json_out = "BENCH_faults.json";
     std::string only_bench;
     bool smoke = false;
+    bool scaling = false;
     int tiles = 4;
     int points = 16;
     int jobs = 0;
@@ -58,9 +62,8 @@ main(int argc, char **argv)
                 "bench_faults", argv[++i], "--points", 1, 4096,
                 "a point count in [1, 4096]"));
         else if (std::strcmp(argv[i], "--tiles") == 0 && i + 1 < argc)
-            tiles = static_cast<int>(raw::cli::parse_long_in(
-                "bench_faults", argv[++i], "--tiles", 1, 1024,
-                "a tile count in [1, 1024]"));
+            tiles = static_cast<int>(raw::cli::parse_tiles(
+                "bench_faults", argv[++i], "--tiles"));
         else if (std::strcmp(argv[i], "--jobs") == 0 && i + 1 < argc)
             jobs = static_cast<int>(raw::cli::parse_long_in(
                 "bench_faults", argv[++i], "--jobs", 0, 1024,
@@ -70,6 +73,8 @@ main(int argc, char **argv)
                                        "--seed");
         else if (std::strcmp(argv[i], "--smoke") == 0)
             smoke = true;
+        else if (std::strcmp(argv[i], "--scaling") == 0)
+            scaling = true;
         else {
             std::fprintf(stderr, "unknown flag %s\n", argv[i]);
             return 2;
@@ -77,7 +82,13 @@ main(int argc, char **argv)
     }
 
     std::vector<SweepSpec> sweeps;
-    if (smoke) {
+    if (scaling) {
+        // Large-mesh campaign: one benchmark, 10x the default point
+        // count, on the 64-tile mesh from the scaling study.  Every
+        // point must still reproduce the clean reference exactly.
+        tiles = 64;
+        sweeps.push_back({"jacobi", seed, 160});
+    } else if (smoke) {
         // 2 benchmarks × 3 seeds × 6 points: point indices 1..5 cover
         // every channel {miss, route, dyn, jitter, all} once.
         for (const char *b : {"jacobi", "cholesky"})
@@ -110,6 +121,8 @@ main(int argc, char **argv)
     }
     out << "{\n  \"table\": \"faults\",\n";
     out << "  \"smoke\": " << (smoke ? "true" : "false") << ",\n";
+    out << "  \"scaling\": " << (scaling ? "true" : "false") << ",\n";
+    out << "  \"tiles\": " << tiles << ",\n";
     out << "  \"failed_points\": " << failed << ",\n";
     out << "  \"campaigns\": [\n";
     for (size_t i = 0; i < reports.size(); i++) {

@@ -15,7 +15,13 @@
  * perf-smoke); --pgo-sweep adds the compile-throughput scenario (a
  * PGO portfolio over compile-heavy points, timed with the schedule
  * cache off / cold / warm — the "pgo_sweep" JSON section records the
- * warm speedup); --json-out PATH overrides the output path.
+ * warm speedup); --scaling adds the large-mesh scenario (the full
+ * suite at 16/32/64/128 tiles, each point simulated under the
+ * reference, threaded and region cores with a cycle-equality assert
+ * — the "scaling" JSON section records per-mesh cycles/s for all
+ * three cores plus per-run speedup over the same benchmark's 1-tile
+ * cycles; always run serially for honest per-core timings);
+ * --json-out PATH overrides the output path.
  *
  * Results (cycle counts, prints) are bit-identical at any --jobs
  * value and any cache state; only the wall-clock figures vary
@@ -49,7 +55,7 @@ ms_since(Clock::time_point t0)
 const int kSizes[] = {1, 2, 4, 8, 16, 32};
 
 /** Which execution core(s) the sweep times. */
-enum class BackendMode { kReference, kThreaded, kBoth };
+enum class BackendMode { kReference, kThreaded, kRegion, kBoth };
 
 /** One (benchmark, machine size) timing. */
 struct RunTiming
@@ -61,6 +67,7 @@ struct RunTiming
     raw::PhaseTimings compile;
     double sim_ms = 0;          ///< selected backend (reference in both-mode)
     double sim_ms_threaded = 0; ///< threaded core (both-mode only)
+    double sim_ms_region = 0;   ///< region-compiled core (both-mode only)
 };
 
 RunTiming
@@ -74,31 +81,119 @@ time_one(const raw::BenchmarkProgram &prog, int tiles,
         prog.source, raw::MachineConfig::base(tiles));
     rt.compile = out.stats.timings;
     rt.placement_swaps = out.stats.placement_swaps;
-    raw::SimBackend primary = mode == BackendMode::kThreaded
-                                  ? raw::SimBackend::kThreaded
-                                  : raw::SimBackend::kReference;
+    raw::SimBackend primary = raw::SimBackend::kReference;
+    if (mode == BackendMode::kThreaded)
+        primary = raw::SimBackend::kThreaded;
+    else if (mode == BackendMode::kRegion)
+        primary = raw::SimBackend::kRegion;
     Clock::time_point t0 = Clock::now();
     raw::Simulator sim(out.program, {}, {}, primary);
     raw::SimResult r = sim.run();
     rt.sim_ms = ms_since(t0);
     rt.cycles = r.cycles;
     if (mode == BackendMode::kBoth) {
-        Clock::time_point t1 = Clock::now();
-        raw::Simulator sim2(out.program, {}, {},
-                            raw::SimBackend::kThreaded);
-        raw::SimResult r2 = sim2.run();
-        rt.sim_ms_threaded = ms_since(t1);
-        if (r2.cycles != r.cycles) {
-            std::fprintf(stderr,
-                         "%s n=%d: backend cycle mismatch "
-                         "(reference %lld, threaded %lld)\n",
-                         prog.name.c_str(), tiles,
-                         static_cast<long long>(r.cycles),
-                         static_cast<long long>(r2.cycles));
-            std::exit(1);
-        }
+        auto rerun = [&](raw::SimBackend backend, double &ms) {
+            Clock::time_point t1 = Clock::now();
+            raw::Simulator sim2(out.program, {}, {}, backend);
+            raw::SimResult r2 = sim2.run();
+            ms = ms_since(t1);
+            if (r2.cycles != r.cycles) {
+                std::fprintf(stderr,
+                             "%s n=%d: backend cycle mismatch "
+                             "(reference %lld, %s %lld)\n",
+                             prog.name.c_str(), tiles,
+                             static_cast<long long>(r.cycles),
+                             raw::sim_backend_name(backend),
+                             static_cast<long long>(r2.cycles));
+                std::exit(1);
+            }
+        };
+        rerun(raw::SimBackend::kThreaded, rt.sim_ms_threaded);
+        rerun(raw::SimBackend::kRegion, rt.sim_ms_region);
     }
     return rt;
+}
+
+/**
+ * Large-mesh scaling scenario: the full suite at 16/32/64/128 tiles
+ * (past Table 3's 32-tile ceiling), each point compiled once and
+ * simulated under all three cores with a cycle-equality assert.  A
+ * 1-tile simulation per benchmark supplies the speedup baseline.
+ * Always runs serially so each core's cycles/s is an honest
+ * single-thread figure.
+ */
+struct ScalePoint
+{
+    std::string name;
+    int tiles = 0;
+    int64_t cycles = 0;
+    int64_t base_cycles = 0; ///< same benchmark at 1 tile
+    double compile_ms = 0;
+    double ref_ms = 0, thr_ms = 0, reg_ms = 0;
+};
+
+std::vector<ScalePoint>
+run_scaling(bool tiny)
+{
+    const int meshes[] = {16, 32, 64, 128};
+    std::vector<ScalePoint> pts;
+    for (const raw::BenchmarkProgram &prog : raw::benchmark_suite()) {
+        if (tiny && prog.name != "jacobi")
+            continue;
+        // 1-tile baseline cycles (cycle count is core-independent;
+        // use the threaded core, it is the cheapest way to get it).
+        raw::CompileOutput base = raw::compile_source(
+            prog.source, raw::MachineConfig::base(1));
+        raw::Simulator bsim(base.program, {}, {},
+                            raw::SimBackend::kThreaded);
+        int64_t base_cycles = bsim.run().cycles;
+        for (int n : meshes) {
+            if (tiny && n > 64)
+                continue;
+            ScalePoint p;
+            p.name = prog.name;
+            p.tiles = n;
+            p.base_cycles = base_cycles;
+            Clock::time_point tc = Clock::now();
+            raw::CompileOutput out = raw::compile_source(
+                prog.source, raw::MachineConfig::base(n));
+            p.compile_ms = ms_since(tc);
+            auto run_core = [&](raw::SimBackend backend, double &ms) {
+                Clock::time_point t0 = Clock::now();
+                raw::Simulator sim(out.program, {}, {}, backend);
+                raw::SimResult r = sim.run();
+                ms = ms_since(t0);
+                return r.cycles;
+            };
+            p.cycles = run_core(raw::SimBackend::kReference, p.ref_ms);
+            int64_t ct =
+                run_core(raw::SimBackend::kThreaded, p.thr_ms);
+            int64_t cr = run_core(raw::SimBackend::kRegion, p.reg_ms);
+            if (ct != p.cycles || cr != p.cycles) {
+                std::fprintf(
+                    stderr,
+                    "scaling %s n=%d: backend cycle mismatch "
+                    "(reference %lld, threaded %lld, region %lld)\n",
+                    p.name.c_str(), n,
+                    static_cast<long long>(p.cycles),
+                    static_cast<long long>(ct),
+                    static_cast<long long>(cr));
+                std::exit(1);
+            }
+            std::printf("  scaling %-14s n=%-4d %9lld cycles  "
+                        "(%.2fx vs n=1)  compile %8.1f ms  "
+                        "sim ref %7.1f / thr %7.1f / reg %7.1f ms\n",
+                        p.name.c_str(), n,
+                        static_cast<long long>(p.cycles),
+                        p.cycles > 0 ? static_cast<double>(base_cycles) /
+                                           static_cast<double>(p.cycles)
+                                     : 0,
+                        p.compile_ms, p.ref_ms, p.thr_ms, p.reg_ms);
+            std::fflush(stdout);
+            pts.push_back(p);
+        }
+    }
+    return pts;
 }
 
 /**
@@ -218,11 +313,11 @@ per_sec(int64_t count, double ms)
 void
 write_json(const std::string &path, const std::vector<RunTiming> &runs,
            int jobs, double wall_ms, const PgoSweep &pgo,
-           BackendMode mode)
+           const std::vector<ScalePoint> &scaling, BackendMode mode)
 {
     raw::PhaseTimings sum;
     int64_t cycles = 0, swaps = 0;
-    double sim_ms = 0, sim_ms_threaded = 0;
+    double sim_ms = 0, sim_ms_threaded = 0, sim_ms_region = 0;
     for (const RunTiming &rt : runs) {
         sum.parse_ms += rt.compile.parse_ms;
         sum.unroll_ms += rt.compile.unroll_ms;
@@ -235,6 +330,7 @@ write_json(const std::string &path, const std::vector<RunTiming> &runs,
         swaps += rt.placement_swaps;
         sim_ms += rt.sim_ms;
         sim_ms_threaded += rt.sim_ms_threaded;
+        sim_ms_region += rt.sim_ms_region;
     }
     double cycles_per_sec = per_sec(cycles, sim_ms);
     double swaps_per_sec = per_sec(swaps, sum.orchestrate_ms);
@@ -273,14 +369,66 @@ write_json(const std::string &path, const std::vector<RunTiming> &runs,
     if (mode == BackendMode::kBoth) {
         double ref_cps = per_sec(cycles, sim_ms);
         double thr_cps = per_sec(cycles, sim_ms_threaded);
+        double reg_cps = per_sec(cycles, sim_ms_region);
         std::snprintf(
             buf, sizeof(buf),
             "  \"sim_backend\": {\"reference_cps\": %.0f, "
-            "\"threaded_cps\": %.0f, \"speedup\": %.2f, "
+            "\"threaded_cps\": %.0f, \"region_cps\": %.0f, "
+            "\"speedup\": %.2f, \"speedup_region\": %.2f, "
             "\"cycles_identical\": true},\n",
-            ref_cps, thr_cps,
-            ref_cps > 0 ? thr_cps / ref_cps : 0);
+            ref_cps, thr_cps, reg_cps,
+            ref_cps > 0 ? thr_cps / ref_cps : 0,
+            ref_cps > 0 ? reg_cps / ref_cps : 0);
         out << buf;
+    }
+    if (!scaling.empty()) {
+        // Per-mesh aggregate cycles/s for each core, then the raw
+        // per-run rows (speedup is vs the same benchmark at 1 tile).
+        out << "  \"scaling\": {\"mesh\": [";
+        bool first = true;
+        for (int n : {16, 32, 64, 128}) {
+            int64_t c = 0;
+            double rms = 0, tms = 0, gms = 0;
+            for (const ScalePoint &p : scaling)
+                if (p.tiles == n) {
+                    c += p.cycles;
+                    rms += p.ref_ms;
+                    tms += p.thr_ms;
+                    gms += p.reg_ms;
+                }
+            if (c == 0)
+                continue;
+            double ref_cps = per_sec(c, rms);
+            double reg_cps = per_sec(c, gms);
+            std::snprintf(
+                buf, sizeof(buf),
+                "%s\n    {\"tiles\": %d, \"cycles\": %lld, "
+                "\"reference_cps\": %.0f, \"threaded_cps\": %.0f, "
+                "\"region_cps\": %.0f, \"region_vs_reference\": %.2f}",
+                first ? "" : ",", n, static_cast<long long>(c),
+                ref_cps, per_sec(c, tms), reg_cps,
+                ref_cps > 0 ? reg_cps / ref_cps : 0);
+            out << buf;
+            first = false;
+        }
+        out << "],\n   \"runs\": [";
+        for (size_t i = 0; i < scaling.size(); i++) {
+            const ScalePoint &p = scaling[i];
+            std::snprintf(
+                buf, sizeof(buf),
+                "%s\n    {\"name\": \"%s\", \"tiles\": %d, "
+                "\"cycles\": %lld, \"speedup_vs_1\": %.2f, "
+                "\"compile_ms\": %.1f, \"sim_ms_reference\": %.1f, "
+                "\"sim_ms_threaded\": %.1f, \"sim_ms_region\": %.1f}",
+                i ? "," : "", p.name.c_str(), p.tiles,
+                static_cast<long long>(p.cycles),
+                p.cycles > 0 ? static_cast<double>(p.base_cycles) /
+                                   static_cast<double>(p.cycles)
+                             : 0,
+                p.compile_ms, p.ref_ms, p.thr_ms, p.reg_ms);
+            out << buf;
+        }
+        out << "],\n   \"cycles_identical\": true},\n";
     }
     if (pgo.ran) {
         std::snprintf(
@@ -340,6 +488,7 @@ main(int argc, char **argv)
     int jobs = 1;
     bool tiny = false;
     bool pgo_sweep = false;
+    bool scaling = false;
     BackendMode mode = BackendMode::kReference;
     for (int i = 1; i < argc; i++) {
         if (std::strcmp(argv[i], "--json-out") == 0 && i + 1 < argc)
@@ -356,16 +505,21 @@ main(int argc, char **argv)
                 mode = BackendMode::kReference;
             else if (b == "threaded")
                 mode = BackendMode::kThreaded;
+            else if (b == "region")
+                mode = BackendMode::kRegion;
             else if (b == "both")
                 mode = BackendMode::kBoth;
             else
                 raw::cli::bad_value("bench_wallclock", "--sim-backend",
                                     argv[i],
-                                    "reference, threaded or both");
+                                    "reference, threaded, region or "
+                                    "both");
         } else if (std::strcmp(argv[i], "--tiny") == 0)
             tiny = true;
         else if (std::strcmp(argv[i], "--pgo-sweep") == 0)
             pgo_sweep = true;
+        else if (std::strcmp(argv[i], "--scaling") == 0)
+            scaling = true;
     }
 
     std::vector<std::pair<const raw::BenchmarkProgram *, int>> points;
@@ -405,6 +559,9 @@ main(int argc, char **argv)
                     pgo.warm_ms > 0 ? pgo.baseline_ms / pgo.warm_ms
                                     : 0);
     }
-    write_json(json_out, runs, jobs, wall_ms, pgo, mode);
+    std::vector<ScalePoint> scale;
+    if (scaling)
+        scale = run_scaling(tiny);
+    write_json(json_out, runs, jobs, wall_ms, pgo, scale, mode);
     return 0;
 }

@@ -75,6 +75,24 @@ parse_long_in(const char *tool, const char *s, const char *flag,
     return v;
 }
 
+/**
+ * Parse a mesh size for --tiles: a power of two in [1, 1024].
+ * mesh_shape() folds powers of two into near-square meshes (64 ->
+ * 8x8, 128 -> 8x16); non-power-of-two counts degrade into elongated
+ * shapes no benchmark schedule targets, and anything past 1024
+ * exceeds what MachineConfig::validate() accepts — both are usage
+ * errors, caught here with exit 2 before any compile starts.
+ */
+inline long
+parse_tiles(const char *tool, const char *s, const char *flag)
+{
+    long v = parse_long(tool, s, flag);
+    if (v < 1 || v > 1024 || (v & (v - 1)) != 0)
+        bad_value(tool, flag, s,
+                  "a power-of-two tile count in 1..1024");
+    return v;
+}
+
 } // namespace cli
 } // namespace raw
 

@@ -107,6 +107,10 @@ void
 MachineConfig::validate() const
 {
     check(n_tiles >= 1, "machine must have at least one tile");
+    // Dynamic-network message headers carry the home/origin tile in a
+    // 10-bit field (see dyn_header), so the mesh cannot address more
+    // than 1024 tiles; the scaling study tops out at 128.
+    check(n_tiles <= 1024, "machine exceeds 1024 addressable tiles");
     check(rows * cols == n_tiles, "mesh shape does not match tile count");
     check(num_registers >= 8, "too few registers");
     check(num_switch_registers >= 1, "too few switch registers");

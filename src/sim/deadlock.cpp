@@ -181,6 +181,34 @@ Simulator::report_deadlock(int64_t now, bool timeout,
         }
     }
 
+    // The *set* part of the diagnosis (blocking cycle + frozen
+    // per-unit state) depends only on the frozen machine state, so it
+    // is identical across execution backends and exposed separately
+    // through DeadlockError::deadlock_set(); only the cycle-bearing
+    // prefix may differ (the threaded core proves the freeze earlier
+    // — see docs/performance.md "Error-path divergence").
+    std::ostringstream set;
+    if (!cycle.empty()) {
+        set << "blocking cycle: ";
+        for (const auto &step : cycle)
+            set << unit_name(step.first) << " -[" << step.second->why
+                << "]-> ";
+        set << unit_name(cycle.front().first);
+    } else {
+        set << "no wait-for cycle found"
+            << (timeout ? " (livelock or perturbation-induced stall)"
+                        : "");
+    }
+    set << "; units: ";
+    for (int t = 0; t < n; t++) {
+        if (!procs_[t].halted)
+            set << "proc" << t << "@pc" << procs_[t].pc << "("
+                << proc_cycle_name(last_proc_cat_[t]) << ") ";
+        if (!switches_[t].halted)
+            set << "sw" << t << "@pc" << switches_[t].pc << "("
+                << switch_cycle_name(last_sw_cat_[t]) << ") ";
+    }
+
     std::ostringstream os;
     if (timeout)
         os << "deadlock: no progress for " << stall_limit
@@ -188,27 +216,8 @@ Simulator::report_deadlock(int64_t now, bool timeout,
     else
         os << "deadlock (wait-for-graph) at cycle " << now
            << ": machine frozen with no pending wake; ";
-    if (!cycle.empty()) {
-        os << "blocking cycle: ";
-        for (const auto &step : cycle)
-            os << unit_name(step.first) << " -[" << step.second->why
-               << "]-> ";
-        os << unit_name(cycle.front().first);
-    } else {
-        os << "no wait-for cycle found"
-           << (timeout ? " (livelock or perturbation-induced stall)"
-                       : "");
-    }
-    os << "; units: ";
-    for (int t = 0; t < n; t++) {
-        if (!procs_[t].halted)
-            os << "proc" << t << "@pc" << procs_[t].pc << "("
-               << proc_cycle_name(last_proc_cat_[t]) << ") ";
-        if (!switches_[t].halted)
-            os << "sw" << t << "@pc" << switches_[t].pc << "("
-               << switch_cycle_name(last_sw_cat_[t]) << ") ";
-    }
-    throw DeadlockError(os.str());
+    os << set.str();
+    throw DeadlockError(os.str(), set.str());
 }
 
 } // namespace raw

@@ -1,0 +1,49 @@
+/**
+ * @file
+ * Program-wide analysis for the region compiler (see region.hpp for
+ * the formation rules and the transparency argument).
+ */
+
+#include "sim/region.hpp"
+
+#include "sim/isa.hpp"
+
+namespace raw {
+
+RegionAnalysis
+analyze_regions(const CompiledProgram &prog)
+{
+    RegionAnalysis ra;
+    ra.dyn_array.assign(prog.arrays.size(), 0);
+    ra.shared_seq.assign(
+        prog.num_prints > 0 ? static_cast<size_t>(prog.num_prints) : 0,
+        0);
+    std::vector<uint8_t> seen_seq(ra.shared_seq.size(), 0);
+    for (const TileProgram &tp : prog.tiles) {
+        for (const PInstr &pi : tp.code) {
+            if ((pi.op == Op::kDynLoad || pi.op == Op::kDynStore) &&
+                pi.array >= 0 &&
+                pi.array < static_cast<int>(ra.dyn_array.size()))
+                ra.dyn_array[pi.array] = 1;
+            if (pi.op == Op::kPrint && pi.print_seq >= 0 &&
+                pi.print_seq < static_cast<int>(seen_seq.size())) {
+                if (seen_seq[pi.print_seq])
+                    ra.shared_seq[pi.print_seq] = 1;
+                seen_seq[pi.print_seq] = 1;
+            }
+        }
+    }
+    return ra;
+}
+
+std::vector<int32_t>
+region_run_lengths(const std::vector<uint8_t> &eligible)
+{
+    std::vector<int32_t> run(eligible.size(), 0);
+    for (size_t i = eligible.size(); i-- > 0;)
+        if (eligible[i])
+            run[i] = 1 + (i + 1 < eligible.size() ? run[i + 1] : 0);
+    return run;
+}
+
+} // namespace raw

@@ -1,0 +1,88 @@
+#ifndef RAW_SIM_REGION_HPP
+#define RAW_SIM_REGION_HPP
+
+/**
+ * @file
+ * Decode-time region compiler for the threaded simulator backend
+ * (SimBackend::kRegion).
+ *
+ * A *region* is a per-unit run of handler records that touches no
+ * FIFO, draws no fault randomness, and interacts with no other unit's
+ * observable state.  Such a run can be executed as one fused dispatch
+ * that advances the unit's *local* clock past the global one — no
+ * awake-mask or scoreboard-wheel maintenance per cycle — after which
+ * the unit parks until the mesh catches up.  The run boundaries are
+ * computed here, once, at decode time; sim/threaded.cpp marks the
+ * eligible records with flag bits and owns the execution loop.
+ *
+ * Formation rules (the transparency argument lives with each):
+ *
+ *  - No FIFO access.  Port operands (kSend/kRecv, port-fused ALU ops,
+ *    switch ROUTEs) are excluded: FIFO words become visible to the
+ *    counterparty in the cycle they were pushed, so executing a push
+ *    or pop at a future local cycle would be observable.  A switch
+ *    ROUTE can *never* run ahead — even a statically satisfiable one
+ *    would stamp the pushed word with a future cycle, which the
+ *    occupancy algebra (Fifo::pushed_this) forbids.
+ *  - No dynamic-network instruction, and no static load/store to an
+ *    array that any kDynLoad/kDynStore anywhere in the program can
+ *    touch: dyn handlers mutate tile-local memory asynchronously
+ *    while the owner keeps executing, so a run-ahead access could
+ *    read/write around an in-flight remote access.  Arrays touched
+ *    only by static accesses are home-tile-private and safe.
+ *  - No print whose seq is shared by more than one instruction:
+ *    occurrence numbers are assigned in execution order, and
+ *    run-ahead reorders execution across units.  (Prints with a
+ *    private seq are safe: the final trace is sorted by the unique
+ *    (occurrence, seq) key, and per-unit order is preserved.)
+ *  - No fault-draw point.  The region backend refuses to form
+ *    regions at all when any fault channel or the checker is armed
+ *    (threaded.cpp gates decode), so region bodies are draw-free and
+ *    the seeded RNG streams stay aligned with the reference core.
+ *
+ * Branches and jumps within the unit's own stream ARE eligible:
+ * regions are dynamic run-ahead, not basic blocks — the fused loop
+ * follows control flow at one instruction per cycle until it reaches
+ * an ineligible record or the run-length budget.
+ */
+
+#include <cstdint>
+#include <vector>
+
+namespace raw {
+
+struct CompiledProgram;
+
+/** Program-wide facts that gate per-record region eligibility. */
+struct RegionAnalysis
+{
+    /** array id -> touched by any kDynLoad/kDynStore in the program. */
+    std::vector<uint8_t> dyn_array;
+    /** print seq -> emitted by more than one static instruction. */
+    std::vector<uint8_t> shared_seq;
+};
+
+/** Walk every tile stream once and collect the analysis above. */
+RegionAnalysis analyze_regions(const CompiledProgram &prog);
+
+/**
+ * Minimum straight-line run length worth fusing.  Entering a region
+ * costs one extra dispatch plus (when the run outpaces global time) a
+ * scoreboard-wheel push/pop; runs shorter than this lose to the
+ * plain per-record path.
+ */
+constexpr int kMinRegionRun = 3;
+
+/**
+ * Suffix run lengths over an eligibility bitmap: out[pc] = number of
+ * consecutive eligible records starting at pc.  A record starts a
+ * region when out[pc] >= kMinRegionRun; computing *suffix* lengths
+ * makes branch targets into the middle of a run start their own
+ * (shorter) region naturally.
+ */
+std::vector<int32_t>
+region_run_lengths(const std::vector<uint8_t> &eligible);
+
+} // namespace raw
+
+#endif

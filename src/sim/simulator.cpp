@@ -41,14 +41,20 @@ sim_backend_from_string(const std::string &name)
         return SimBackend::kReference;
     if (name == "threaded")
         return SimBackend::kThreaded;
+    if (name == "region")
+        return SimBackend::kRegion;
     fatal("unknown simulator backend: " + name +
-          " (expected reference or threaded)");
+          " (expected reference, threaded or region)");
 }
 
 const char *
 sim_backend_name(SimBackend b)
 {
-    return b == SimBackend::kThreaded ? "threaded" : "reference";
+    switch (b) {
+    case SimBackend::kThreaded: return "threaded";
+    case SimBackend::kRegion: return "region";
+    default: return "reference";
+    }
 }
 
 Simulator::Simulator(const CompiledProgram &prog, FaultConfig faults,
@@ -385,8 +391,8 @@ SimResult
 Simulator::run(int64_t max_cycles)
 {
     arm_wall_deadline();
-    if (backend_ == SimBackend::kThreaded)
-        return run_threaded(max_cycles);
+    if (backend_ != SimBackend::kReference)
+        return run_threaded(max_cycles); // threaded + region cores
     const int n = prog_.machine.n_tiles;
     int64_t now = 0;
     int64_t last_progress = 0;

@@ -255,6 +255,15 @@ struct SimResult
     int64_t check_failure_count = 0;
     /** Provenance-stream hash (0 unless provenance checking on). */
     uint64_t prov_hash = 0;
+    /**
+     * Region-execution diagnostics (SimBackend::kRegion only; zero
+     * everywhere else).  Backend-internal by construction, so they
+     * are deliberately NOT part of the cross-backend differential:
+     * regions_entered counts fused-run dispatches, region_cycles the
+     * simulated cycles retired inside them.
+     */
+    int64_t regions_entered = 0;
+    int64_t region_cycles = 0;
 
     /** Render the print trace, one value per line. */
     std::string print_text() const;
@@ -265,6 +274,22 @@ class DeadlockError : public FatalError
 {
   public:
     explicit DeadlockError(const std::string &msg) : FatalError(msg) {}
+    DeadlockError(const std::string &msg, std::string set)
+        : FatalError(msg), set_(std::move(set))
+    {
+    }
+    /**
+     * The cycle-number-free part of the diagnosis: the blocking
+     * cycle found by the wait-for-graph analysis plus the frozen
+     * per-unit pc/stall-category list.  Identical across execution
+     * backends (the detection *cycle* in what() may differ — the
+     * threaded core detects quiescent freezes earlier; see
+     * docs/performance.md "Error-path divergence").
+     */
+    const std::string &deadlock_set() const { return set_; }
+
+  private:
+    std::string set_;
 };
 
 /**
@@ -329,14 +354,19 @@ struct DynPlane
  *
  * kReference is the original cycle-driven interpreter; kThreaded
  * pre-decodes every tile stream into flat handler records
- * (sim/threaded.cpp) and sleeps stalled units between events.  Both
- * backends produce bit-identical SimResults (cycles, prints, profile
- * sums, provenance hashes) — pinned by tests/test_sim_backend.cpp and
- * the --sim-diff CLI mode.
+ * (sim/threaded.cpp) and sleeps stalled units between events.
+ * kRegion is the threaded core with the region compiler armed on top:
+ * decode marks straight-line runs of records that touch no FIFO and
+ * draw no fault randomness (sim/region.hpp), and execution fuses each
+ * run into one dispatch that runs the unit ahead of global time, then
+ * parks it until the mesh catches up.  All backends produce
+ * bit-identical SimResults (cycles, prints, profile sums, provenance
+ * hashes) — pinned by tests/test_sim_backend.cpp and the --sim-diff
+ * CLI mode.
  */
-enum class SimBackend : uint8_t { kReference = 0, kThreaded };
+enum class SimBackend : uint8_t { kReference = 0, kThreaded, kRegion };
 
-/** Parse "reference" / "threaded"; throws FatalError otherwise. */
+/** Parse "reference" / "threaded" / "region"; throws otherwise. */
 SimBackend sim_backend_from_string(const std::string &name);
 const char *sim_backend_name(SimBackend b);
 

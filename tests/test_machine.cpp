@@ -6,6 +6,7 @@
 
 #include <gtest/gtest.h>
 
+#include "harness/cli.hpp"
 #include "machine/machine.hpp"
 
 namespace raw {
@@ -17,9 +18,11 @@ TEST(Machine, MeshShapes)
     {
         int n, rows, cols;
     };
-    // The paper evaluates N = 1..32; shapes are near-square.
+    // The paper evaluates N = 1..32; the scaling study extends the
+    // sweep to 64 and 128.  Shapes stay near-square.
     for (Case c : {Case{1, 1, 1}, Case{2, 1, 2}, Case{4, 2, 2},
-                   Case{8, 2, 4}, Case{16, 4, 4}, Case{32, 4, 8}}) {
+                   Case{8, 2, 4}, Case{16, 4, 4}, Case{32, 4, 8},
+                   Case{64, 8, 8}, Case{128, 8, 16}}) {
         MachineConfig m = MachineConfig::base(c.n);
         EXPECT_EQ(m.rows, c.rows) << "n=" << c.n;
         EXPECT_EQ(m.cols, c.cols) << "n=" << c.n;
@@ -107,6 +110,40 @@ TEST(Machine, ValidateRejectsBadShapes)
     MachineConfig m = MachineConfig::base(4);
     m.rows = 3;
     EXPECT_THROW(m.validate(), PanicError);
+}
+
+TEST(Machine, LargeMeshValidation)
+{
+    // The scaling-study meshes validate; anything past the 10-bit
+    // dyn_header tile field (1024) does not.
+    EXPECT_NO_THROW(MachineConfig::base(64).validate());
+    EXPECT_NO_THROW(MachineConfig::base(128).validate());
+    EXPECT_NO_THROW(MachineConfig::base(1024).validate());
+    MachineConfig m = MachineConfig::base(1024);
+    m.n_tiles = 2048;
+    m.rows = 32;
+    m.cols = 64;
+    EXPECT_THROW(m.validate(), PanicError);
+}
+
+TEST(MachineDeathTest, TilesFlagRejectsBadCounts)
+{
+    // --tiles goes through cli::parse_tiles in every driver: usage
+    // errors exit 2 before any compile starts.
+    EXPECT_EXIT(cli::parse_tiles("rawcc", "48", "--tiles"),
+                ::testing::ExitedWithCode(2),
+                "a power-of-two tile count in 1\\.\\.1024");
+    EXPECT_EXIT(cli::parse_tiles("rawcc", "2048", "--tiles"),
+                ::testing::ExitedWithCode(2),
+                "a power-of-two tile count in 1\\.\\.1024");
+    EXPECT_EXIT(cli::parse_tiles("rawcc", "0", "--tiles"),
+                ::testing::ExitedWithCode(2),
+                "a power-of-two tile count in 1\\.\\.1024");
+    EXPECT_EXIT(cli::parse_tiles("rawcc", "64x", "--tiles"),
+                ::testing::ExitedWithCode(2), "an integer");
+    EXPECT_EQ(cli::parse_tiles("rawcc", "64", "--tiles"), 64);
+    EXPECT_EQ(cli::parse_tiles("rawcc", "128", "--tiles"), 128);
+    EXPECT_EQ(cli::parse_tiles("rawcc", "1024", "--tiles"), 1024);
 }
 
 } // namespace

@@ -1,15 +1,19 @@
 /**
  * @file
- * Backend-differential suite: run the reference and the threaded
- * execution cores over the full golden corpus (every point in
- * tests/goldens/, at its native machine size and fault/scheduler
- * configuration), a tile sweep of the golden benchmarks, and a
+ * Backend-differential suite: run the reference, threaded and
+ * region-compiled execution cores over the full golden corpus (every
+ * point in tests/goldens/, at its native machine size and
+ * fault/scheduler configuration), a tile sweep of the golden
+ * benchmarks extended to the 64/128-tile scaling meshes, and a
  * fault-channel matrix point, asserting bit-identical observable
  * results via diff_sim_backends — cycle count, every aggregate
  * counter, print trace, prov_hash, per-tile profile and final array
  * contents.  The checker is armed on the _sched and fault points
  * (covering the kRouteN + provenance paths) and left off on the
  * plain points so the kRoute1 fast path is the one being compared.
+ * Also pins the region-formation gates (regions must be off under
+ * every fault channel and under the checker) and deadlock-set parity
+ * across all three cores.
  */
 
 #include <string>
@@ -107,6 +111,24 @@ TEST(SimBackend, GoldenBenchTileSweep)
             diff_point({b, n, {}});
 }
 
+TEST(SimBackend, LargeMeshSweep)
+{
+    // The scaling-study meshes, past Table 3's 32-tile ceiling.
+    // jacobi n=64 runs the fused scan over an 8x8 mesh; fpppp-kernel
+    // is cheap enough at n=128 (8x16) to diff in milliseconds.
+    diff_point({"jacobi", 64, {}});
+    diff_point({"jacobi", 64, {}, true, true}); // checker on _sched
+    diff_point({"fpppp-kernel", 128, {}});
+
+    // Fault point at 64 tiles with the checker armed: regions are
+    // forced off, so this pins the large-mesh threaded paths too.
+    FaultConfig miss{};
+    miss.miss_rate = 0.05;
+    miss.penalty = 12;
+    miss.seed = 9;
+    diff_point({"jacobi", 64, miss, false, true});
+}
+
 TEST(SimBackend, FaultChannelMatrix)
 {
     // All four channels at once: memory miss, route stall, dynamic
@@ -130,6 +152,119 @@ TEST(SimBackend, FaultChannelMatrix)
     miss.penalty = 10;
     miss.seed = 3;
     diff_point({"tomcatv", 16, miss, false, true});
+}
+
+TEST(SimBackend, RegionsDisabledUnderEveryFaultChannel)
+{
+    // Region formation must turn itself off whenever any fault
+    // channel or the runtime checker is armed (those paths consume
+    // per-cycle randomness / per-step checks a fused run would skip),
+    // and the plain threaded core must never form regions at all.
+    CompileOutput out = compile_source(benchmark("jacobi").source,
+                                       MachineConfig::base(4));
+    auto regions = [&](const FaultConfig &f, const CheckConfig &c,
+                       SimBackend b = SimBackend::kRegion) {
+        Simulator sim(out.program, f, c, b);
+        return sim.run().regions_entered;
+    };
+
+    EXPECT_GT(regions({}, {}), 0) << "clean region run must fuse";
+    EXPECT_EQ(regions({}, {}, SimBackend::kThreaded), 0);
+    EXPECT_EQ(regions({}, {}, SimBackend::kReference), 0);
+
+    FaultConfig miss{};
+    miss.miss_rate = 0.1;
+    miss.penalty = 10;
+    miss.seed = 1;
+    EXPECT_EQ(regions(miss, {}), 0) << "memory-miss channel";
+
+    FaultConfig route{};
+    route.route_stall_rate = 0.1;
+    route.route_stall_cycles = 3;
+    route.seed = 1;
+    EXPECT_EQ(regions(route, {}), 0) << "route-stall channel";
+
+    FaultConfig dyn{};
+    dyn.dyn_delay_rate = 0.2;
+    dyn.dyn_delay_cycles = 5;
+    dyn.seed = 1;
+    EXPECT_EQ(regions(dyn, {}), 0) << "dyn-delay channel";
+
+    FaultConfig jit{};
+    jit.jitter_rate = 0.01;
+    jit.seed = 1;
+    EXPECT_EQ(regions(jit, {}), 0) << "jitter channel";
+
+    CheckConfig checks;
+    checks.provenance = true;
+    checks.fifo_bounds = true;
+    EXPECT_EQ(regions({}, checks), 0) << "runtime checker";
+}
+
+// Minimal hand-built deadlock: two switches each waiting for a word
+// from the other before forwarding to their processor (mirror of the
+// tests/test_faults.cpp routing-cycle program).
+CompiledProgram
+routing_cycle()
+{
+    CompiledProgram cp;
+    cp.machine = MachineConfig::base(2);
+    cp.tiles.resize(2);
+    cp.switches.resize(2);
+    cp.total_words = 16;
+    auto pi = [](Op op, int dst = -1, int a = -1) {
+        PInstr p;
+        p.op = op;
+        p.dst = dst;
+        p.src[0] = a;
+        return p;
+    };
+    auto route1 = [](Dir in, Dir out) {
+        SInstr s;
+        s.k = SInstr::K::kRoute;
+        s.routes = {{in, static_cast<uint8_t>(
+                             1u << static_cast<int>(out)),
+                     -1}};
+        return s;
+    };
+    SInstr halt;
+    halt.k = SInstr::K::kHalt;
+    for (int t : {0, 1})
+        cp.tiles[t].code = {pi(Op::kRecv, 1), pi(Op::kSend, -1, 1),
+                            pi(Op::kHalt)};
+    cp.switches[0].code = {route1(Dir::kEast, Dir::kProc),
+                           route1(Dir::kProc, Dir::kEast), halt};
+    cp.switches[1].code = {route1(Dir::kWest, Dir::kProc),
+                           route1(Dir::kProc, Dir::kWest), halt};
+    return cp;
+}
+
+TEST(SimBackend, DeadlockSetParity)
+{
+    // All three cores must diagnose the same deadlock *set* (blocking
+    // cycle + blocked units).  The cycle *number* is allowed to
+    // differ — the threaded cores sleep through quiescent stretches
+    // and notice the freeze at a later timestamp (see "Error-path
+    // divergence" in docs/performance.md) — which is exactly why
+    // DeadlockError::deadlock_set() excludes it.
+    CompiledProgram cp = routing_cycle();
+    auto set_of = [&](SimBackend b) {
+        Simulator sim(cp, {}, {}, b);
+        try {
+            sim.run();
+        } catch (const DeadlockError &e) {
+            return e.deadlock_set();
+        }
+        ADD_FAILURE() << "routing cycle must deadlock ("
+                      << sim_backend_name(b) << ")";
+        return std::string();
+    };
+    std::string ref = set_of(SimBackend::kReference);
+    EXPECT_NE(ref.find("blocking cycle"), std::string::npos) << ref;
+    EXPECT_NE(ref.find("sw0@pc0"), std::string::npos) << ref;
+    EXPECT_NE(ref.find("sw1@pc0"), std::string::npos) << ref;
+    EXPECT_EQ(set_of(SimBackend::kThreaded), ref);
+    EXPECT_EQ(set_of(SimBackend::kRegion), ref);
 }
 
 } // namespace

@@ -96,7 +96,7 @@ usage()
         "  --no-unroll --no-replication --no-port-fold\n"
         "  --sched-iters N --route-select --pgo\n"
         "  --modulo --mii-cap N --oracle-budget N\n"
-        "  --sim-backend reference|threaded --sim-diff\n"
+        "  --sim-backend reference|threaded|region --sim-diff\n"
         "  --list-benchmarks\n");
 }
 
@@ -228,10 +228,7 @@ main(int argc, char **argv)
             return static_cast<int>(p);
         };
         if (a == "--tiles") {
-            tiles = parse_long(next(), "--tiles");
-            if (tiles <= 0 || tiles > 1024)
-                bad_value("--tiles", argv[i],
-                          "a tile count in 1..1024");
+            tiles = raw::cli::parse_tiles("rawcc", next(), "--tiles");
         } else if (a == "--config")
             config = next();
         else if (a == "--baseline")
@@ -322,9 +319,11 @@ main(int argc, char **argv)
                 sim_backend = SimBackend::kReference;
             else if (b == "threaded")
                 sim_backend = SimBackend::kThreaded;
+            else if (b == "region")
+                sim_backend = SimBackend::kRegion;
             else
                 bad_value("--sim-backend", argv[i],
-                          "reference or threaded");
+                          "reference, threaded or region");
         } else if (a == "--sim-diff")
             sim_diff = true;
         else if (a == "--pgo")
@@ -467,8 +466,8 @@ main(int argc, char **argv)
         if (sim_diff) {
             r = diff_sim_backends(out.program, faults, checks,
                                   !trace_out.empty());
-            std::printf("[sim-diff: reference and threaded backends "
-                        "identical]\n");
+            std::printf("[sim-diff: reference, threaded and region "
+                        "backends identical]\n");
         } else {
             Simulator sim(out.program, faults, checks, sim_backend);
             if (!trace_out.empty())
